@@ -1,0 +1,239 @@
+//! Uniform linear arrays and their array factors.
+
+use crate::element::Element;
+use mmx_dsp::Complex;
+use mmx_units::{Db, Degrees, Hertz};
+
+/// A uniform linear array of identical elements along the x-axis, with
+/// boresight (broadside) at azimuth 0°.
+///
+/// The complex far-field response toward azimuth `θ` is
+///
+/// ```text
+/// F(θ) = E(θ) · Σₙ wₙ · e^(j·k·n·d·sin θ),   k = 2π/λ
+/// ```
+///
+/// where `E(θ)` is the element amplitude pattern and `wₙ` the excitation
+/// weights. Weights are normalized to unit total power (`Σ|wₙ|² = 1`) at
+/// construction so that arrays with different excitations radiate the same
+/// total power — exactly the situation of mmX's SPDT switch feeding either
+/// array from the same VCO.
+#[derive(Debug, Clone)]
+pub struct UniformLinearArray {
+    element: Element,
+    spacing_m: f64,
+    weights: Vec<Complex>,
+}
+
+impl UniformLinearArray {
+    /// Creates an array from an element type, inter-element spacing in
+    /// meters, and complex excitation weights (normalized internally).
+    ///
+    /// Panics on an empty weight vector, non-positive spacing, or
+    /// all-zero weights.
+    pub fn new(element: Element, spacing_m: f64, weights: Vec<Complex>) -> Self {
+        assert!(!weights.is_empty(), "array needs at least one element");
+        assert!(spacing_m > 0.0, "element spacing must be positive");
+        let total: f64 = weights.iter().map(|w| w.norm_sq()).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let scale = total.sqrt();
+        let weights = weights.iter().map(|w| *w / scale).collect();
+        UniformLinearArray {
+            element,
+            spacing_m,
+            weights,
+        }
+    }
+
+    /// Convenience: spacing given in wavelengths at `freq`.
+    pub fn with_lambda_spacing(
+        element: Element,
+        lambdas: f64,
+        freq: Hertz,
+        weights: Vec<Complex>,
+    ) -> Self {
+        Self::new(element, lambdas * freq.wavelength_m(), weights)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True for a degenerate zero-element array (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The element type.
+    pub fn element(&self) -> Element {
+        self.element
+    }
+
+    /// Inter-element spacing in meters.
+    pub fn spacing_m(&self) -> f64 {
+        self.spacing_m
+    }
+
+    /// The normalized excitation weights.
+    pub fn weights(&self) -> &[Complex] {
+        &self.weights
+    }
+
+    /// Complex array factor toward azimuth `az` at carrier `freq`
+    /// (excluding the element pattern).
+    pub fn array_factor(&self, az: Degrees, freq: Hertz) -> Complex {
+        let k = 2.0 * std::f64::consts::PI / freq.wavelength_m();
+        let s = az.to_radians().sin();
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(n, w)| *w * Complex::cis(k * n as f64 * self.spacing_m * s))
+            .sum()
+    }
+
+    /// Complex field response including the element pattern.
+    pub fn response(&self, az: Degrees, freq: Hertz) -> Complex {
+        self.array_factor(az, freq)
+            .scale(self.element.amplitude(az))
+    }
+
+    /// Power gain toward `az` in dBi.
+    ///
+    /// With unit-power weights, `|Σwₙ|²` at the beam peak equals the array
+    /// directivity gain over one element (×N for uniform excitation), so
+    /// `G(θ) = G_elem(θ)·|AF(θ)|²` is the standard pattern-multiplication
+    /// gain.
+    pub fn gain(&self, az: Degrees, freq: Hertz) -> Db {
+        Db::from_linear(self.response(az, freq).norm_sq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Hertz {
+        Hertz::from_ghz(24.0)
+    }
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn single_element_array_is_the_element() {
+        let a = UniformLinearArray::new(Element::Patch, 0.01, vec![Complex::ONE]);
+        for az in [-60.0, 0.0, 45.0] {
+            close(
+                a.gain(Degrees::new(az), f()).value(),
+                Element::Patch.gain(Degrees::new(az)).value(),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    fn two_element_broadside_gain_is_3db_over_element() {
+        // Uniform in-phase pair: +3 dB array gain at broadside.
+        let a = UniformLinearArray::with_lambda_spacing(
+            Element::Patch,
+            1.0,
+            f(),
+            vec![Complex::ONE, Complex::ONE],
+        );
+        let g = a.gain(Degrees::new(0.0), f());
+        close(g.value(), 6.3 + 3.0103, 1e-3);
+    }
+
+    #[test]
+    fn lambda_spaced_in_phase_pair_nulls_at_30_degrees() {
+        // AF = √2·cos(π·sinθ) → null at sinθ = 0.5.
+        let a = UniformLinearArray::with_lambda_spacing(
+            Element::Patch,
+            1.0,
+            f(),
+            vec![Complex::ONE, Complex::ONE],
+        );
+        let g = a.array_factor(Degrees::new(30.0), f()).abs();
+        close(g, 0.0, 1e-9);
+        let g2 = a.array_factor(Degrees::new(-30.0), f()).abs();
+        close(g2, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn lambda_spaced_antiphase_pair_nulls_broadside_peaks_30() {
+        // AF = √2·sin(π·sinθ) → null at 0, peaks at sinθ = ±0.5.
+        let a = UniformLinearArray::with_lambda_spacing(
+            Element::Patch,
+            1.0,
+            f(),
+            vec![Complex::ONE, -Complex::ONE],
+        );
+        close(a.array_factor(Degrees::new(0.0), f()).abs(), 0.0, 1e-12);
+        close(
+            a.array_factor(Degrees::new(30.0), f()).abs(),
+            2f64.sqrt(),
+            1e-9,
+        );
+        close(
+            a.array_factor(Degrees::new(-30.0), f()).abs(),
+            2f64.sqrt(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn weights_are_power_normalized() {
+        let a = UniformLinearArray::new(
+            Element::Isotropic,
+            0.00625,
+            vec![Complex::new(3.0, 0.0), Complex::new(0.0, 4.0)],
+        );
+        let total: f64 = a.weights().iter().map(|w| w.norm_sq()).sum();
+        close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn response_is_pattern_multiplication() {
+        let a = UniformLinearArray::with_lambda_spacing(
+            Element::Patch,
+            0.5,
+            f(),
+            vec![Complex::ONE, Complex::ONE, Complex::ONE],
+        );
+        let az = Degrees::new(20.0);
+        let lhs = a.response(az, f()).abs();
+        let rhs = a.array_factor(az, f()).abs() * Element::Patch.amplitude(az);
+        close(lhs, rhs, 1e-12);
+    }
+
+    #[test]
+    fn gain_reciprocity_in_azimuth_for_symmetric_weights() {
+        let a = UniformLinearArray::with_lambda_spacing(
+            Element::Patch,
+            1.0,
+            f(),
+            vec![Complex::ONE, Complex::ONE],
+        );
+        for az in [5.0, 25.0, 50.0] {
+            close(
+                a.gain(Degrees::new(az), f()).value(),
+                a.gain(Degrees::new(-az), f()).value(),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_weights_panic() {
+        let _ = UniformLinearArray::new(Element::Patch, 0.01, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_weights_panic() {
+        let _ = UniformLinearArray::new(Element::Patch, 0.01, vec![Complex::ZERO]);
+    }
+}

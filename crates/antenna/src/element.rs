@@ -1,0 +1,176 @@
+//! Single-element radiation patterns.
+//!
+//! All patterns are azimuth power-gain functions `G(θ)` in dBi, with the
+//! element boresight at `θ = 0`. Real patch and dipole elements are well
+//! approximated by `G_peak·cosᵖ(θ)` main lobes with a floor for the back
+//! radiation; the exponent `p` is derived from the datasheet/paper 3 dB
+//! beamwidth.
+
+use mmx_units::{Db, Degrees};
+
+/// A single antenna element with an analytic azimuth pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Element {
+    /// An ideal isotropic radiator (0 dBi everywhere) — the reference for
+    /// gain definitions and the model for the node's test port.
+    Isotropic,
+    /// A microstrip patch: the node's array element. Peak gain ~6.3 dBi,
+    /// ~75° azimuth beamwidth and a −15 dB back lobe — calibrated so the
+    /// combined array patterns roll off by ±60° the way the measured
+    /// Fig. 8 patterns do.
+    Patch,
+    /// The AP's fabricated dipole (§8.2): 5 dBi gain, 62° half-power
+    /// beamwidth.
+    ApDipole,
+    /// A generic `cosᵖ` element with explicit peak gain and exponent —
+    /// used by tests and by custom front-ends.
+    CosPower {
+        /// Boresight gain.
+        peak: Db,
+        /// Pattern exponent on the *amplitude* (power goes as `cos^(2p)`).
+        p: f64,
+        /// Gain floor applied outside the main lobe (back radiation).
+        floor: Db,
+    },
+}
+
+impl Element {
+    /// Power gain toward azimuth `az` (boresight at 0°).
+    pub fn gain(&self, az: Degrees) -> Db {
+        match *self {
+            Element::Isotropic => Db::ZERO,
+            // cos³(θ) power: ~75° azimuth beamwidth.
+            Element::Patch => cos_power_gain(az, Db::new(6.3), 1.5, Db::new(-15.0)),
+            // cos^4.5 power ≈ 62° HPBW (paper §8.2).
+            Element::ApDipole => cos_power_gain(az, Db::new(5.0), 2.25, Db::new(-15.0)),
+            Element::CosPower { peak, p, floor } => cos_power_gain(az, peak, p, floor),
+        }
+    }
+
+    /// Field amplitude toward `az` (√ of the linear gain) — what the array
+    /// factor multiplies.
+    pub fn amplitude(&self, az: Degrees) -> f64 {
+        self.gain(az).linear().sqrt()
+    }
+
+    /// Peak (boresight) gain.
+    pub fn peak_gain(&self) -> Db {
+        self.gain(Degrees::new(0.0))
+    }
+
+    /// Half-power beamwidth in degrees, found numerically.
+    pub fn hpbw(&self) -> Degrees {
+        let peak = self.peak_gain();
+        let target = peak - Db::new(3.0);
+        // Scan outward from boresight in 0.1° steps.
+        let mut theta = 0.0;
+        while theta < 180.0 {
+            if self.gain(Degrees::new(theta)) < target {
+                return Degrees::new(2.0 * theta);
+            }
+            theta += 0.1;
+        }
+        Degrees::new(360.0)
+    }
+}
+
+/// `G(θ) = peak · cos^(2p)(θ)` inside ±90°, clamped below by `peak+floor`.
+fn cos_power_gain(az: Degrees, peak: Db, p: f64, floor: Db) -> Db {
+    let theta = az.wrapped();
+    let floor_abs = peak + floor;
+    if theta.value().abs() >= 90.0 {
+        return floor_abs;
+    }
+    let c = theta.to_radians().cos();
+    let g = peak + Db::from_linear(c.powf(2.0 * p));
+    g.max(floor_abs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn isotropic_is_flat() {
+        for az in [-180.0, -90.0, 0.0, 45.0, 179.0] {
+            assert_eq!(Element::Isotropic.gain(Degrees::new(az)), Db::ZERO);
+        }
+    }
+
+    #[test]
+    fn patch_peak_gain() {
+        close(Element::Patch.peak_gain().value(), 6.3, 1e-9);
+    }
+
+    #[test]
+    fn patch_hpbw_near_75_degrees() {
+        // cos³ power pattern: half power at ±37°.
+        let bw = Element::Patch.hpbw().value();
+        assert!((bw - 75.0).abs() < 3.0, "patch HPBW = {bw}");
+    }
+
+    #[test]
+    fn ap_dipole_matches_paper_spec() {
+        // §8.2: 5 dB gain, 3 dB beamwidth of 62 degrees.
+        close(Element::ApDipole.peak_gain().value(), 5.0, 1e-9);
+        let bw = Element::ApDipole.hpbw().value();
+        assert!((bw - 62.0).abs() < 3.0, "dipole HPBW = {bw}");
+    }
+
+    #[test]
+    fn back_lobe_is_floored() {
+        let back = Element::Patch.gain(Degrees::new(180.0));
+        close(back.value(), 6.3 - 15.0, 1e-9);
+        let side = Element::Patch.gain(Degrees::new(120.0));
+        close(side.value(), 6.3 - 15.0, 1e-9);
+    }
+
+    #[test]
+    fn pattern_is_symmetric() {
+        for az in [10.0, 30.0, 60.0, 85.0] {
+            let l = Element::Patch.gain(Degrees::new(-az));
+            let r = Element::Patch.gain(Degrees::new(az));
+            close(l.value(), r.value(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_monotone_from_boresight_within_main_lobe() {
+        let mut prev = Element::Patch.gain(Degrees::new(0.0));
+        for az in (1..80).map(|d| d as f64) {
+            let g = Element::Patch.gain(Degrees::new(az));
+            assert!(g <= prev + Db::new(1e-12));
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn amplitude_squares_to_gain() {
+        let az = Degrees::new(25.0);
+        let a = Element::Patch.amplitude(az);
+        close(a * a, Element::Patch.gain(az).linear(), 1e-12);
+    }
+
+    #[test]
+    fn cos_power_custom_element() {
+        let e = Element::CosPower {
+            peak: Db::new(10.0),
+            p: 1.0,
+            floor: Db::new(-20.0),
+        };
+        close(e.peak_gain().value(), 10.0, 1e-12);
+        // At 60°, cos²(60°) = 0.25 → −6 dB.
+        close(e.gain(Degrees::new(60.0)).value(), 4.0, 0.05);
+    }
+
+    #[test]
+    fn angles_wrap_beyond_180() {
+        let a = Element::Patch.gain(Degrees::new(350.0)); // == -10°
+        let b = Element::Patch.gain(Degrees::new(-10.0));
+        close(a.value(), b.value(), 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # mmx-antenna
+//!
+//! Antenna and array substrate for the mmX reproduction.
+//!
+//! The paper's node has *no phased array*: it feeds an SPDT switch into two
+//! fixed 2-patch arrays whose radiation patterns are orthogonal (each has a
+//! null at the other's peak, Fig. 8). The AP uses a 5 dBi dipole, and the
+//! multi-node extension uses a Time-Modulated Array. This crate models all
+//! of them from first principles:
+//!
+//! * [`element`] — single-element radiation patterns (patch, dipole,
+//!   isotropic) as azimuth gain functions.
+//! * [`mod@array`] — uniform linear arrays and their complex array factors.
+//! * [`beams`] — the mmX node's Beam 0 / Beam 1 synthesis (λ spacing,
+//!   in-phase vs 180°-out-of-phase excitation) plus the deliberately
+//!   *non-orthogonal* variant used for the §6.2 ablation.
+//! * [`pattern`] — sampled patterns: peaks, nulls, beamwidths,
+//!   orthogonality metrics.
+//! * [`phased`] — a conventional phased array with quantized phase
+//!   shifters: the baseline that mmX's design eliminates.
+//! * [`tma`] — the Time-Modulated Array of §7(b): switching sequences,
+//!   harmonic coefficients (Eqs. 1–4) and the direction→harmonic hash that
+//!   implements SDM at the AP.
+//!
+//! Everything works in the azimuth plane; elevation is absorbed into the
+//! element gain (the paper's elevation beam is a wide 65° patch lobe that
+//! lets nodes sit at different heights).
+
+pub mod array;
+pub mod beams;
+pub mod element;
+pub mod pattern;
+pub mod phased;
+pub mod tma;
+
+pub use array::UniformLinearArray;
+pub use beams::{NodeBeams, OtamBeam};
+pub use element::Element;
+pub use pattern::SampledPattern;
+pub use phased::PhasedArray;
+pub use tma::Tma;

@@ -1,0 +1,239 @@
+//! Sampled radiation patterns and their analysis.
+//!
+//! Fig. 8 of the paper is a measured polar pattern; this module produces
+//! the simulated equivalent (gain vs azimuth) and extracts the features the
+//! paper quotes: peak directions, nulls, 3 dB beamwidths and the
+//! orthogonality of two patterns.
+
+use mmx_units::{Db, Degrees};
+
+/// A pattern sampled uniformly over azimuth `[-180°, 180°)`.
+#[derive(Debug, Clone)]
+pub struct SampledPattern {
+    gains: Vec<Db>,
+    step_deg: f64,
+}
+
+impl SampledPattern {
+    /// Samples `f` every `step_deg` degrees over a full circle.
+    ///
+    /// Panics unless `step_deg` divides 360 into at least 8 samples.
+    pub fn sample<F: Fn(Degrees) -> Db>(step_deg: f64, f: F) -> Self {
+        assert!(step_deg > 0.0 && step_deg <= 45.0, "invalid step");
+        let n = (360.0 / step_deg).round() as usize;
+        let gains = (0..n)
+            .map(|i| f(Degrees::new(-180.0 + i as f64 * step_deg)))
+            .collect();
+        SampledPattern { gains, step_deg }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// True when the pattern has no samples (cannot happen via
+    /// [`sample`](Self::sample)).
+    pub fn is_empty(&self) -> bool {
+        self.gains.is_empty()
+    }
+
+    /// The azimuth of sample `i`.
+    pub fn azimuth(&self, i: usize) -> Degrees {
+        Degrees::new(-180.0 + i as f64 * self.step_deg)
+    }
+
+    /// Gain at sample `i`.
+    pub fn gain_at(&self, i: usize) -> Db {
+        self.gains[i]
+    }
+
+    /// Iterator over `(azimuth, gain)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Degrees, Db)> + '_ {
+        self.gains
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (self.azimuth(i), g))
+    }
+
+    /// The global peak `(azimuth, gain)`.
+    pub fn peak(&self) -> (Degrees, Db) {
+        let (i, &g) = self
+            .gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN gain"))
+            .expect("non-empty pattern");
+        (self.azimuth(i), g)
+    }
+
+    /// All local maxima at least `threshold` below-the-peak-or-better
+    /// (i.e. maxima with gain ≥ peak − threshold), as `(azimuth, gain)`.
+    pub fn peaks(&self, threshold: Db) -> Vec<(Degrees, Db)> {
+        let n = self.gains.len();
+        let (_, peak) = self.peak();
+        let floor = peak - threshold;
+        let mut out = Vec::new();
+        for i in 0..n {
+            let prev = self.gains[(i + n - 1) % n];
+            let next = self.gains[(i + 1) % n];
+            let g = self.gains[i];
+            if g >= prev && g > next && g >= floor {
+                out.push((self.azimuth(i), g));
+            }
+        }
+        out
+    }
+
+    /// All local minima at least `depth` below the global peak.
+    pub fn nulls(&self, depth: Db) -> Vec<(Degrees, Db)> {
+        let n = self.gains.len();
+        let (_, peak) = self.peak();
+        let ceiling = peak - depth;
+        let mut out = Vec::new();
+        for i in 0..n {
+            let prev = self.gains[(i + n - 1) % n];
+            let next = self.gains[(i + 1) % n];
+            let g = self.gains[i];
+            if g <= prev && g < next && g <= ceiling {
+                out.push((self.azimuth(i), g));
+            }
+        }
+        out
+    }
+
+    /// 3 dB beamwidth of the lobe containing the global peak.
+    pub fn hpbw(&self) -> Degrees {
+        let n = self.gains.len();
+        let (i_peak, peak) = self
+            .gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN gain"))
+            .map(|(i, &g)| (i, g))
+            .expect("non-empty");
+        let target = peak - Db::new(3.0);
+        let mut right = 0;
+        while right < n && self.gains[(i_peak + right) % n] >= target {
+            right += 1;
+        }
+        let mut left = 0;
+        while left < n && self.gains[(i_peak + n - left) % n] >= target {
+            left += 1;
+        }
+        Degrees::new(((right + left - 1).min(n)) as f64 * self.step_deg)
+    }
+
+    /// Cross-pattern orthogonality: the *maximum* of `min(G_a, G_b)` over
+    /// azimuth, i.e. the best gain an observer can see from both patterns
+    /// simultaneously. Orthogonal patterns score far below either peak.
+    pub fn mutual_overlap(a: &SampledPattern, b: &SampledPattern) -> Db {
+        assert_eq!(a.len(), b.len(), "patterns must share sampling");
+        a.gains
+            .iter()
+            .zip(&b.gains)
+            .map(|(&ga, &gb)| ga.min(gb))
+            .fold(Db::new(f64::NEG_INFINITY), Db::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beams::{NodeBeams, OtamBeam};
+    use mmx_units::Hertz;
+
+    fn patterns() -> (SampledPattern, SampledPattern) {
+        let b = NodeBeams::orthogonal(Hertz::from_ghz(24.0));
+        let p1 = SampledPattern::sample(0.5, |az| b.gain(OtamBeam::Beam1, az));
+        let p0 = SampledPattern::sample(0.5, |az| b.gain(OtamBeam::Beam0, az));
+        (p0, p1)
+    }
+
+    #[test]
+    fn beam1_peak_at_broadside() {
+        let (_, p1) = patterns();
+        let (az, g) = p1.peak();
+        assert!(az.value().abs() < 0.6, "peak at {az}");
+        assert!((g.value() - 9.3).abs() < 0.2, "peak gain {g}");
+    }
+
+    #[test]
+    fn beam0_has_two_peaks_at_pm30() {
+        let (p0, _) = patterns();
+        let peaks = p0.peaks(Db::new(1.0));
+        let mut azimuths: Vec<f64> = peaks.iter().map(|(a, _)| a.value()).collect();
+        azimuths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(azimuths.len(), 2, "peaks: {azimuths:?}");
+        // The array factor peaks at exactly ±30°; the element taper pulls
+        // the full pattern's maxima in slightly ("about ±30°", §6.2).
+        assert!((azimuths[0] + 30.0).abs() < 6.0, "peaks: {azimuths:?}");
+        assert!((azimuths[1] - 30.0).abs() < 6.0, "peaks: {azimuths:?}");
+    }
+
+    #[test]
+    fn beam1_nulls_at_pm30() {
+        let (_, p1) = patterns();
+        let nulls = p1.nulls(Db::new(20.0));
+        let found_pos = nulls.iter().any(|(a, _)| (a.value() - 30.0).abs() < 2.0);
+        let found_neg = nulls.iter().any(|(a, _)| (a.value() + 30.0).abs() < 2.0);
+        assert!(found_pos && found_neg, "nulls: {nulls:?}");
+    }
+
+    #[test]
+    fn beam0_null_at_broadside() {
+        let (p0, _) = patterns();
+        let nulls = p0.nulls(Db::new(20.0));
+        assert!(nulls.iter().any(|(a, _)| a.value().abs() < 1.0));
+    }
+
+    #[test]
+    fn orthogonal_beams_have_low_mutual_overlap() {
+        let (p0, p1) = patterns();
+        let overlap = SampledPattern::mutual_overlap(&p0, &p1);
+        // The beams only meet at their crossover (~±15°), several dB
+        // below Beam 1's 9.3 dBi peak.
+        assert!(overlap.value() < 6.5, "overlap = {overlap}");
+    }
+
+    #[test]
+    fn non_orthogonal_beams_have_high_mutual_overlap() {
+        let b = NodeBeams::non_orthogonal(Hertz::from_ghz(24.0));
+        let p1 = SampledPattern::sample(0.5, |az| b.gain(OtamBeam::Beam1, az));
+        let p0 = SampledPattern::sample(0.5, |az| b.gain(OtamBeam::Beam0, az));
+        let overlap = SampledPattern::mutual_overlap(&p0, &p1);
+        // The mirrored ±30° beams meet exactly at broadside with ~6.3 dBi
+        // each — an observer straight ahead sees both beams at full
+        // strength (the Fig. 5a failure).
+        assert!(overlap.value() > 5.5, "overlap = {overlap}");
+    }
+
+    #[test]
+    fn beam1_hpbw_in_analytic_range() {
+        // Paper measures 40°; the ideal 2-element pattern gives ≈28°.
+        let (_, p1) = patterns();
+        let bw = p1.hpbw().value();
+        assert!((20.0..=45.0).contains(&bw), "HPBW = {bw}");
+    }
+
+    #[test]
+    fn sampling_geometry() {
+        let p = SampledPattern::sample(1.0, |_| Db::ZERO);
+        assert_eq!(p.len(), 360);
+        assert_eq!(p.azimuth(0).value(), -180.0);
+        assert_eq!(p.azimuth(359).value(), 179.0);
+        assert_eq!(p.iter().count(), 360);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid step")]
+    fn oversized_step_rejected() {
+        let _ = SampledPattern::sample(90.0, |_| Db::ZERO);
+    }
+
+    #[test]
+    fn flat_pattern_hpbw_is_full_circle() {
+        let p = SampledPattern::sample(1.0, |_| Db::new(5.0));
+        assert_eq!(p.hpbw().value(), 360.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! A conventional phased array — the baseline mmX eliminates.
+//!
+//! Existing mmWave radios (§2, §6) steer a beam with per-element phase
+//! shifters and search for the best direction. We model an N-element,
+//! λ/2-spaced array with B-bit quantized phase shifters (the paper cites
+//! 5-bit parts, e.g. HMC644A) and provide the codebook used by the
+//! beam-search baselines in `mmx-baseline`.
+
+use crate::array::UniformLinearArray;
+use crate::element::Element;
+use mmx_dsp::Complex;
+use mmx_units::{Db, Degrees, Hertz};
+
+/// A uniform λ/2 phased array with quantized phase shifters.
+#[derive(Debug, Clone)]
+pub struct PhasedArray {
+    n: usize,
+    phase_bits: u8,
+    freq: Hertz,
+    element: Element,
+}
+
+impl PhasedArray {
+    /// Creates an `n`-element array with `phase_bits`-bit shifters at
+    /// carrier `freq`.
+    pub fn new(n: usize, phase_bits: u8, freq: Hertz) -> Self {
+        assert!(n >= 2, "a phased array needs at least 2 elements");
+        assert!((1..=8).contains(&phase_bits), "phase bits out of range");
+        PhasedArray {
+            n,
+            phase_bits,
+            freq,
+            element: Element::Patch,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Cannot be empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Quantizes an ideal phase to the shifter's grid.
+    fn quantize(&self, phase: f64) -> f64 {
+        let levels = (1u32 << self.phase_bits) as f64;
+        let step = 2.0 * std::f64::consts::PI / levels;
+        (phase / step).round() * step
+    }
+
+    /// Builds the steering weights for a target azimuth, with quantized
+    /// phases.
+    pub fn steer(&self, target: Degrees) -> UniformLinearArray {
+        let k = 2.0 * std::f64::consts::PI / self.freq.wavelength_m();
+        let d = 0.5 * self.freq.wavelength_m();
+        let s = target.to_radians().sin();
+        let weights = (0..self.n)
+            .map(|i| Complex::cis(-self.quantize(k * i as f64 * d * s)))
+            .collect();
+        UniformLinearArray::new(self.element, d, weights)
+    }
+
+    /// Gain toward `az` when steered to `target`.
+    pub fn gain(&self, target: Degrees, az: Degrees) -> Db {
+        self.steer(target).gain(az, self.freq)
+    }
+
+    /// The beam codebook used by exhaustive search: `count` beams spanning
+    /// `[-fov/2, +fov/2]` uniformly in sine space (uniform beam overlap).
+    pub fn codebook(&self, fov: Degrees, count: usize) -> Vec<Degrees> {
+        assert!(count >= 1, "codebook needs at least one beam");
+        let smax = (fov.value() / 2.0).to_radians().sin();
+        (0..count)
+            .map(|i| {
+                let frac = if count == 1 {
+                    0.0
+                } else {
+                    -1.0 + 2.0 * i as f64 / (count - 1) as f64
+                };
+                Degrees::new((frac * smax).asin().to_degrees())
+            })
+            .collect()
+    }
+
+    /// The natural codebook size for this array: ~N beams cover the field
+    /// of view at the Rayleigh resolution.
+    pub fn natural_codebook_len(&self) -> usize {
+        self.n
+    }
+
+    /// Half-power beamwidth at broadside (`≈ 102°/N` for λ/2 spacing).
+    pub fn hpbw(&self) -> Degrees {
+        Degrees::new(101.8 / self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> PhasedArray {
+        PhasedArray::new(8, 5, Hertz::from_ghz(24.0))
+    }
+
+    #[test]
+    fn steered_beam_peaks_at_target() {
+        let a = arr();
+        for target in [-40.0, -10.0, 0.0, 25.0, 45.0] {
+            let t = Degrees::new(target);
+            let on = a.gain(t, t);
+            // Gain at the target ≈ element gain there + 10·log10(N)
+            // (element roll-off applies even to a steered array).
+            let ideal = Element::Patch.gain(t) + Db::new(10.0 * 8f64.log10());
+            assert!(
+                (on - ideal).value().abs() < 1.5,
+                "target {target}: gain {on} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_beam_gain_is_much_lower() {
+        let a = arr();
+        let t = Degrees::new(0.0);
+        let off = a.gain(t, Degrees::new(40.0));
+        let on = a.gain(t, t);
+        assert!((on - off).value() > 10.0);
+    }
+
+    #[test]
+    fn more_elements_narrower_beam() {
+        let a8 = PhasedArray::new(8, 5, Hertz::from_ghz(24.0));
+        let a16 = PhasedArray::new(16, 5, Hertz::from_ghz(24.0));
+        assert!(a16.hpbw().value() < a8.hpbw().value());
+    }
+
+    #[test]
+    fn quantization_costs_little_at_5_bits() {
+        let ideal = PhasedArray::new(8, 8, Hertz::from_ghz(24.0));
+        let coarse = PhasedArray::new(8, 2, Hertz::from_ghz(24.0));
+        let t = Degrees::new(33.0);
+        let g_ideal = ideal.gain(t, t);
+        let g_coarse = coarse.gain(t, t);
+        // 2-bit shifters lose real gain; the loss must be visible but
+        // bounded.
+        let loss = (g_ideal - g_coarse).value();
+        assert!(loss > 0.01, "expected some quantization loss, got {loss}");
+        assert!(loss < 4.0, "2-bit loss too large: {loss}");
+    }
+
+    #[test]
+    fn codebook_spans_fov() {
+        let a = arr();
+        let cb = a.codebook(Degrees::new(120.0), 9);
+        assert_eq!(cb.len(), 9);
+        assert!((cb[0].value() + 60.0).abs() < 1e-9);
+        assert!((cb[8].value() - 60.0).abs() < 1e-9);
+        assert!(cb[4].value().abs() < 1e-9);
+        // Monotone increasing.
+        for w in cb.windows(2) {
+            assert!(w[0].value() < w[1].value());
+        }
+    }
+
+    #[test]
+    fn single_beam_codebook_is_broadside() {
+        let cb = arr().codebook(Degrees::new(120.0), 1);
+        assert_eq!(cb.len(), 1);
+        assert!(cb[0].value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn codebook_neighbors_overlap_at_natural_size() {
+        // Adjacent codebook beams must not leave coverage holes: midway
+        // between two beams the better beam still offers gain within ~4 dB
+        // of its peak.
+        let a = arr();
+        let cb = a.codebook(Degrees::new(120.0), a.natural_codebook_len());
+        for w in cb.windows(2) {
+            let mid = Degrees::new((w[0].value() + w[1].value()) / 2.0);
+            let g = a.gain(w[0], mid).max(a.gain(w[1], mid));
+            let peak = a.gain(w[0], w[0]);
+            assert!((peak - g).value() < 7.0, "hole at {mid}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 elements")]
+    fn single_element_rejected() {
+        let _ = PhasedArray::new(1, 5, Hertz::from_ghz(24.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase bits")]
+    fn zero_phase_bits_rejected() {
+        let _ = PhasedArray::new(8, 0, Hertz::from_ghz(24.0));
+    }
+}

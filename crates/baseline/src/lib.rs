@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # mmx-baseline
+//!
+//! The systems mmX is compared against.
+//!
+//! * [`phased_node`] — a conventional phased-array mmWave node: the
+//!   hardware (8-element array, PA, mixer, phase shifters) whose cost and
+//!   power §1 quotes, and whose beams the search protocols steer.
+//! * [`search`] — the beam-search protocols OTAM eliminates: exhaustive
+//!   sector sweep, hierarchical two-stage search, and the naive
+//!   fixed-beam approach, each with probe/feedback/latency/energy
+//!   accounting (§3, §6).
+//! * [`platforms`] — the Table 1 comparison set: MiRa, OpenMili/
+//!   Pasternack, WiFi 802.11n and Bluetooth, with cost, power, bitrate,
+//!   range and energy efficiency.
+
+pub mod phased_node;
+pub mod platforms;
+pub mod search;
+
+pub use phased_node::ConventionalNode;
+pub use platforms::Platform;
+pub use search::{BeamSearch, SearchOutcome};

@@ -1,0 +1,108 @@
+//! A conventional phased-array mmWave node.
+//!
+//! §1: "a power amplifier and mixer operating at 24 GHz consumes about
+//! 2.5 W and 1 W respectively ... phased arrays, consisting of amplifiers
+//! and phase shifters, excessively increase the power consumption". This
+//! is that radio: the baseline whose cost/power/complexity motivates mmX.
+
+use mmx_antenna::phased::PhasedArray;
+use mmx_rf::cost::CostLedger;
+use mmx_rf::power::PowerLedger;
+use mmx_units::{Db, Degrees, Hertz, Watts};
+
+/// An 8-element conventional node: PA + mixer + LO + phased array.
+#[derive(Debug, Clone)]
+pub struct ConventionalNode {
+    array: PhasedArray,
+    power: PowerLedger,
+    cost: CostLedger,
+    /// The beam the node is currently steered to.
+    pub steered_to: Degrees,
+}
+
+impl ConventionalNode {
+    /// The §1 strawman at 24 GHz: 8 elements, 5-bit shifters.
+    pub fn standard() -> Self {
+        ConventionalNode {
+            array: PhasedArray::new(8, 5, Hertz::from_ghz(24.0)),
+            power: PowerLedger::new()
+                .entry("power amplifier", Watts::new(2.5))
+                .entry("mixer", Watts::new(1.0))
+                .entry("LO synthesizer", Watts::new(0.8))
+                .entry("phase shifters + LNAs (8 el.)", Watts::new(1.2))
+                .entry("digital/control", Watts::new(0.5)),
+            cost: CostLedger::conventional_phased_node(),
+            steered_to: Degrees::new(0.0),
+        }
+    }
+
+    /// The phased array.
+    pub fn array(&self) -> &PhasedArray {
+        &self.array
+    }
+
+    /// Total DC power while transmitting.
+    pub fn tx_power_draw(&self) -> Watts {
+        self.power.total()
+    }
+
+    /// BOM cost in USD.
+    pub fn cost_usd(&self) -> f64 {
+        self.cost.total()
+    }
+
+    /// Steers the beam.
+    pub fn steer(&mut self, target: Degrees) {
+        self.steered_to = target;
+    }
+
+    /// Antenna gain toward `az` with the current steering.
+    pub fn gain(&self, az: Degrees) -> Db {
+        self.array.gain(self.steered_to, az)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_several_watts() {
+        // §1: "far more than what a camera or an entire low-power WiFi
+        // module consumes".
+        let n = ConventionalNode::standard();
+        let w = n.tx_power_draw().value();
+        assert!((5.0..8.0).contains(&w), "power = {w} W");
+    }
+
+    #[test]
+    fn costs_hundreds_of_dollars() {
+        let n = ConventionalNode::standard();
+        assert!(n.cost_usd() > 500.0);
+    }
+
+    #[test]
+    fn five_times_mmx_node_power() {
+        let conventional = ConventionalNode::standard().tx_power_draw().value();
+        let mmx = PowerLedger::mmx_node().total().value();
+        assert!(conventional / mmx > 4.0);
+    }
+
+    #[test]
+    fn steering_moves_the_gain() {
+        let mut n = ConventionalNode::standard();
+        n.steer(Degrees::new(30.0));
+        let on = n.gain(Degrees::new(30.0));
+        let off = n.gain(Degrees::new(-30.0));
+        assert!((on - off).value() > 10.0);
+    }
+
+    #[test]
+    fn peak_gain_beats_mmx_fixed_beams() {
+        // The whole point of a phased array: more aperture. mmX gives
+        // that up for simplicity.
+        let n = ConventionalNode::standard();
+        let g = n.gain(Degrees::new(0.0)).value();
+        assert!(g > 9.3, "phased gain = {g} dBi");
+    }
+}

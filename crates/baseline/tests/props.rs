@@ -1,0 +1,86 @@
+//! Property-based tests for the beam-search baselines.
+
+use mmx_baseline::search::{
+    search_overhead_fraction, BeamSearch, ExhaustiveSearch, FixedBeam, HierarchicalSearch,
+};
+use mmx_baseline::ConventionalNode;
+use mmx_units::{Db, Degrees, Seconds};
+use proptest::prelude::*;
+
+fn quality_toward(path_deg: f64) -> impl Fn(Degrees) -> Db {
+    move |steer: Degrees| {
+        let node = ConventionalNode::standard();
+        node.array().gain(steer, Degrees::new(path_deg))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exhaustive_never_loses_to_fixed(path in -50.0f64..50.0) {
+        let node = ConventionalNode::standard();
+        let q = quality_toward(path);
+        let ex = ExhaustiveSearch::standard().search(&node, &q);
+        let fx = FixedBeam { steering: Degrees::new(0.0) }.search(&node, &q);
+        // The 16-beam codebook has no exact-broadside entry, so a path
+        // at 0° can favor the fixed beam by up to the codebook's
+        // straddling loss (~1.5 dB) — never more.
+        prop_assert!(ex.quality >= fx.quality - Db::new(1.5));
+    }
+
+    #[test]
+    fn exhaustive_finds_near_the_path(path in -45.0f64..45.0) {
+        let node = ConventionalNode::standard();
+        let q = quality_toward(path);
+        let out = ExhaustiveSearch::standard().search(&node, &q);
+        // The chosen beam must be within roughly one codebook spacing of
+        // the true path direction.
+        prop_assert!(
+            out.chosen.distance(Degrees::new(path)).value() < 12.0,
+            "path {path}, chose {}",
+            out.chosen
+        );
+    }
+
+    #[test]
+    fn hierarchical_within_a_few_db_of_exhaustive(path in -45.0f64..45.0) {
+        let node = ConventionalNode::standard();
+        let q = quality_toward(path);
+        let ex = ExhaustiveSearch::standard().search(&node, &q);
+        let hi = HierarchicalSearch::standard().search(&node, &q);
+        prop_assert!((ex.quality - hi.quality).value() < 6.0,
+            "exhaustive {} vs hierarchical {}", ex.quality, hi.quality);
+        prop_assert!(hi.cost.probes < ex.cost.probes);
+    }
+
+    #[test]
+    fn costs_scale_with_codebook(beams in 4usize..64) {
+        let node = ConventionalNode::standard();
+        let q = quality_toward(-20.0);
+        let out = ExhaustiveSearch { beams, fov: Degrees::new(120.0) }.search(&node, &q);
+        prop_assert_eq!(out.cost.probes, beams);
+        prop_assert!(out.cost.latency.value() > 0.0);
+        prop_assert!(out.cost.node_energy_j > 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction_bounded(coherence_ms in 0.1f64..10_000.0) {
+        let node = ConventionalNode::standard();
+        let q = quality_toward(-20.0);
+        let out = ExhaustiveSearch::standard().search(&node, &q);
+        let f = search_overhead_fraction(&out.cost, Seconds::from_millis(coherence_ms));
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn overhead_monotone_in_mobility(c1 in 0.1f64..100.0, c2 in 0.1f64..100.0) {
+        prop_assume!(c1 < c2);
+        let node = ConventionalNode::standard();
+        let q = quality_toward(-20.0);
+        let out = ExhaustiveSearch::standard().search(&node, &q);
+        let fast = search_overhead_fraction(&out.cost, Seconds::from_millis(c1));
+        let slow = search_overhead_fraction(&out.cost, Seconds::from_millis(c2));
+        prop_assert!(fast >= slow);
+    }
+}

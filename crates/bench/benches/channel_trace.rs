@@ -1,0 +1,33 @@
+//! Propagation substrate cost: path tracing and per-beam channel
+//! collapse — the inner loop of every Monte-Carlo experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmx_antenna::beams::NodeBeams;
+use mmx_antenna::element::Element;
+use mmx_channel::blockage::HumanBlocker;
+use mmx_channel::response::{beam_channel, Pose};
+use mmx_channel::room::Room;
+use mmx_channel::trace::Tracer;
+use mmx_channel::Vec2;
+use mmx_units::Hertz;
+
+fn bench_trace(c: &mut Criterion) {
+    let room = Room::paper_lab();
+    let tracer = Tracer::new(&room, Hertz::from_ghz(24.0), 2.0);
+    let beams = NodeBeams::orthogonal(Hertz::from_ghz(24.0));
+    let node = Pose::facing_toward(Vec2::new(1.0, 2.0), Vec2::new(5.8, 2.0));
+    let ap = Pose::facing_toward(Vec2::new(5.8, 2.0), Vec2::new(1.0, 2.0));
+    let blockers = [HumanBlocker::typical(Vec2::new(3.0, 2.0))];
+
+    let mut group = c.benchmark_group("channel");
+    group.bench_function("trace_paper_lab", |b| {
+        b.iter(|| tracer.trace(node.position, ap.position, &blockers))
+    });
+    group.bench_function("beam_channel_paper_lab", |b| {
+        b.iter(|| beam_channel(&tracer, node, ap, &beams, Element::ApDipole, &blockers))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

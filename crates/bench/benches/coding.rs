@@ -1,0 +1,30 @@
+//! Channel-coding cost: what the §9.3 error-correction extension would
+//! ask of a low-power controller.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmx_phy::coding::{convolutional, hamming, Interleaver};
+
+fn bench_coding(c: &mut Criterion) {
+    let mut prbs = mmx_dsp::prbs::Prbs::prbs15(1);
+    let data = prbs.bits(4096);
+    let ham = hamming::encode(&data);
+    let conv = convolutional::encode(&data);
+    let il = Interleaver::new(64, 128);
+    let block = prbs.bits(il.block_len());
+
+    let mut group = c.benchmark_group("coding");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("hamming_encode_4k", |b| b.iter(|| hamming::encode(&data)));
+    group.bench_function("hamming_decode_4k", |b| b.iter(|| hamming::decode(&ham)));
+    group.bench_function("conv_encode_4k", |b| {
+        b.iter(|| convolutional::encode(&data))
+    });
+    group.bench_function("viterbi_decode_4k", |b| {
+        b.iter(|| convolutional::decode(&conv))
+    });
+    group.bench_function("interleave_8k", |b| b.iter(|| il.interleave(&block)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_coding);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Demodulator throughput: ASK envelope slicing, FSK Goertzel
+//! discrimination, and the joint rule — the per-packet work of the AP's
+//! baseband processor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmx_phy::ask::{demodulate as ask_demod, modulate as ask_mod, AskConfig};
+use mmx_phy::fsk::{demodulate as fsk_demod, modulate as fsk_mod, FskConfig};
+use mmx_phy::joint::{demodulate as joint_demod, JointConfig};
+use mmx_phy::packet::PREAMBLE;
+use mmx_units::{Db, Hertz};
+
+fn bits(n: usize) -> Vec<bool> {
+    let mut out = PREAMBLE.to_vec();
+    let mut prbs = mmx_dsp::prbs::Prbs::prbs15(1);
+    out.extend(prbs.bits(n));
+    out
+}
+
+fn bench_demod(c: &mut Criterion) {
+    let fs = Hertz::from_mhz(25.0);
+    let ask_cfg = AskConfig::default_ook(25);
+    let fsk_cfg = FskConfig::centered(Hertz::from_mhz(2.0), 25);
+    let joint_cfg = JointConfig::new(ask_cfg, fsk_cfg, Db::new(2.0));
+
+    let mut group = c.benchmark_group("demod");
+    for &nbits in &[256usize, 2048] {
+        let tx = bits(nbits);
+        let ask_wave = ask_mod(&ask_cfg, &tx, Hertz::from_mhz(1.0), fs);
+        let fsk_wave = fsk_mod(&fsk_cfg, &tx, fs);
+        group.throughput(Throughput::Elements(nbits as u64));
+        group.bench_with_input(BenchmarkId::new("ask", nbits), &ask_wave, |b, w| {
+            b.iter(|| ask_demod(&ask_cfg, w, &PREAMBLE).expect("demod"))
+        });
+        group.bench_with_input(BenchmarkId::new("fsk", nbits), &fsk_wave, |b, w| {
+            b.iter(|| fsk_demod(&fsk_cfg, w))
+        });
+        group.bench_with_input(BenchmarkId::new("joint", nbits), &ask_wave, |b, w| {
+            b.iter(|| joint_demod(&joint_cfg, w, &PREAMBLE).expect("demod"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_demod);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! FFT and Goertzel cost — the spectral primitives behind the FSK
+//! discriminator and the TMA harmonic analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmx_dsp::fft::{fft, power_spectrum};
+use mmx_dsp::goertzel::Goertzel;
+use mmx_dsp::{Complex, IqBuffer};
+use mmx_units::Hertz;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let buf = IqBuffer::tone(1.0, Hertz::from_mhz(2.0), n, Hertz::from_mhz(25.0));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("radix2", n), &buf, |b, buf| {
+            b.iter(|| {
+                let mut x: Vec<Complex> = buf.samples().to_vec();
+                fft(&mut x);
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("power_spectrum", n), &buf, |b, buf| {
+            b.iter(|| power_spectrum(buf.samples()))
+        });
+        // Two Goertzel bins vs a full FFT: the design argument for the
+        // joint demodulator's FSK path.
+        let g0 = Goertzel::new(Hertz::from_mhz(-1.0), Hertz::from_mhz(25.0));
+        let g1 = Goertzel::new(Hertz::from_mhz(1.0), Hertz::from_mhz(25.0));
+        group.bench_with_input(BenchmarkId::new("goertzel_pair", n), &buf, |b, buf| {
+            b.iter(|| (g0.energy(buf.samples()), g1.energy(buf.samples())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

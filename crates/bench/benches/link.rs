@@ -1,0 +1,47 @@
+//! End-to-end OTAM link: waveform synthesis, reception, and the full
+//! packet round trip — the cost of simulating one mmX transmission.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmx_channel::response::BeamChannel;
+use mmx_dsp::Complex;
+use mmx_phy::otam::{OtamConfig, OtamLink};
+use mmx_phy::packet::{Packet, PREAMBLE};
+use rand::SeedableRng;
+
+fn link() -> OtamLink {
+    OtamLink::new(
+        OtamConfig::standard(),
+        BeamChannel {
+            h1: Complex::from_polar(10f64.powf(-65.0 / 20.0), 0.7),
+            h0: Complex::from_polar(10f64.powf(-80.0 / 20.0), -1.1),
+        },
+    )
+}
+
+fn bench_link(c: &mut Criterion) {
+    let l = link();
+    let mut bits = PREAMBLE.to_vec();
+    let mut prbs = mmx_dsp::prbs::Prbs::prbs15(1);
+    bits.extend(prbs.bits(1024));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let wave = l.waveform(&bits, &mut rng);
+
+    let mut group = c.benchmark_group("link");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("waveform_1k_bits", |b| {
+        let mut r = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| l.waveform(&bits, &mut r))
+    });
+    group.bench_function("receive_1k_bits", |b| {
+        b.iter(|| l.receive(&wave).expect("rx"))
+    });
+    let packet = Packet::new(1, 1, vec![0xA5; 128]);
+    group.bench_function("packet_roundtrip_128B", |b| {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| l.send_packet(&packet, &mut r))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_link);
+criterion_main!(benches);

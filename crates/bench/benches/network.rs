@@ -1,0 +1,51 @@
+//! Network-simulation cost: one Fig. 13-style topology at several node
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmx_channel::response::Pose;
+use mmx_channel::room::{Material, Room};
+use mmx_channel::Vec2;
+use mmx_net::ap::ApStation;
+use mmx_net::node::NodeStation;
+use mmx_net::sim::{NetworkSim, SimConfig};
+use mmx_units::{BitRate, Degrees, Hertz, Seconds};
+
+fn sim(n: usize) -> NetworkSim {
+    let room = Room::rectangular(6.0, 4.0, Material::Drywall);
+    let ap_pos = Vec2::new(5.7, 2.0);
+    let ap = ApStation::with_tma(
+        Pose::new(ap_pos, Degrees::new(180.0)),
+        8,
+        Hertz::from_mhz(1.0),
+    );
+    let mut cfg = SimConfig::standard();
+    cfg.duration = Seconds::from_millis(20.0);
+    cfg.walkers = 1;
+    let mut s = NetworkSim::new(room, ap, cfg);
+    for i in 0..n {
+        let az = -50.0 + 100.0 * (i as f64 + 0.5) / n as f64;
+        let pos = ap_pos + Vec2::from_bearing(Degrees::new(180.0 + az)) * 3.5;
+        let pos = Vec2::new(pos.x.clamp(0.3, 5.4), pos.y.clamp(0.3, 3.7));
+        s.add_node(NodeStation::new(
+            i as u8,
+            Pose::facing_toward(pos, ap_pos),
+            BitRate::from_mbps(20.0),
+        ));
+    }
+    s
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.sample_size(20);
+    for &n in &[1usize, 5, 20] {
+        let s = sim(n);
+        group.bench_with_input(BenchmarkId::new("sim_20ms", n), &s, |b, s| {
+            b.iter(|| s.run().expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! The computational asymmetry of the paper's core claim: evaluating an
+//! OTAM link (no search) versus running a beam search over a phased
+//! array's codebook.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmx_baseline::search::{BeamSearch, ExhaustiveSearch, HierarchicalSearch};
+use mmx_baseline::ConventionalNode;
+use mmx_channel::Vec2;
+use mmx_core::Testbed;
+use mmx_units::{Db, Degrees};
+
+fn bench_search_vs_otam(c: &mut Criterion) {
+    let testbed = Testbed::paper_default();
+    let pose = testbed.node_pose_at(Vec2::new(1.5, 2.0));
+    let node = ConventionalNode::standard();
+    let quality = |steer: Degrees| -> Db { node.array().gain(steer, Degrees::new(-20.0)) };
+
+    let mut group = c.benchmark_group("search_vs_otam");
+    group.bench_function("otam_observe", |b| b.iter(|| testbed.observe(pose, &[])));
+    group.bench_function("exhaustive_search", |b| {
+        let s = ExhaustiveSearch::standard();
+        b.iter(|| s.search(&node, &quality))
+    });
+    group.bench_function("hierarchical_search", |b| {
+        let s = HierarchicalSearch::standard();
+        b.iter(|| s.search(&node, &quality))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_vs_otam);
+criterion_main!(benches);

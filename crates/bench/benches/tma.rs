@@ -1,0 +1,33 @@
+//! Time-modulated-array cost: harmonic gain evaluation, the
+//! direction→harmonic assignment, and the sample-level switching
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmx_antenna::tma::Tma;
+use mmx_dsp::IqBuffer;
+use mmx_units::{Degrees, Hertz};
+
+fn bench_tma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tma");
+    for &n in &[8usize, 16] {
+        let tma = Tma::new(n, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0));
+        let dirs: Vec<Degrees> = (0..20)
+            .map(|i| Degrees::new(-50.0 + 100.0 * i as f64 / 19.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("gain_matrix_20", n), &tma, |b, t| {
+            b.iter(|| t.gain_matrix(&dirs))
+        });
+        group.bench_with_input(BenchmarkId::new("assign_20", n), &tma, |b, t| {
+            b.iter(|| t.assign_harmonics(&dirs))
+        });
+    }
+    let tma8 = Tma::new(8, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0));
+    let tone = IqBuffer::tone(1.0, Hertz::new(0.0), 8192, Hertz::from_mhz(64.0));
+    group.bench_function("modulate_block_8192", |b| {
+        b.iter(|| tma8.modulate_block(&tone, Degrees::new(14.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tma);
+criterion_main!(benches);

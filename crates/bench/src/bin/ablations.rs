@@ -1,0 +1,34 @@
+//! Runs the design-choice ablations (§6.2 beams, §6.3 modulation, beam
+//! search vs OTAM, §9.3 coding).
+//!
+//! Run with: `cargo run -p mmx-bench --bin ablations`
+
+use mmx_bench::{ablations, output};
+
+fn main() {
+    output::emit(
+        "Ablation §6.2 — orthogonal vs non-orthogonal beams (facing prior)",
+        "ablation_beams",
+        &ablations::beam_ablation(2000, 5),
+    );
+    output::emit(
+        "Ablation §6.3 — ASK-only vs FSK-only vs joint demodulation",
+        "ablation_modulation",
+        &ablations::modulation_ablation(2000, 6),
+    );
+    output::emit(
+        "Ablation — beam-search protocols vs OTAM",
+        "ablation_search",
+        &ablations::search_ablation(),
+    );
+    output::emit(
+        "Ablation §9.3 — error-correction coding at the link's operating points",
+        "ablation_coding",
+        &ablations::coding_ablation(100_000, 4),
+    );
+    output::emit(
+        "Ablation — uplink power control at 20 nodes (near-far)",
+        "ablation_power_control",
+        &ablations::power_control_ablation(7),
+    );
+}

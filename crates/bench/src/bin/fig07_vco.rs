@@ -1,0 +1,20 @@
+//! Regenerates Fig. 7: VCO carrier frequency versus control voltage.
+//!
+//! Run with: `cargo run -p mmx-bench --bin fig07_vco`
+
+use mmx_bench::{fig07_vco, output};
+
+fn main() {
+    let table = fig07_vco::table();
+    output::emit(
+        "Fig. 7 — VCO carrier frequency vs tuning voltage (HMC533)",
+        "fig07_vco",
+        &table,
+    );
+    let s = fig07_vco::summarize(&fig07_vco::sweep());
+    println!(
+        "sweep: {:.4}–{:.4} GHz; covers 24 GHz ISM band: {}",
+        s.f_min_ghz, s.f_max_ghz, s.covers_ism
+    );
+    println!("paper: 23.95–24.25 GHz over 3.5–4.9 V, covering the entire ISM band");
+}

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 11: the BER CDF with and without OTAM.
+//!
+//! Run with: `cargo run -p mmx-bench --bin fig11_ber_cdf`
+
+use mmx_bench::{fig11_ber_cdf, output};
+
+fn main() {
+    let samples = fig11_ber_cdf::samples(1000, 7);
+    output::emit(
+        "Fig. 11 — BER CDF across random placements",
+        "fig11_ber_cdf",
+        &fig11_ber_cdf::table(&samples),
+    );
+    let s = fig11_ber_cdf::summarize(&samples);
+    println!(
+        "without OTAM: median {:.1e}, p90 {:.1e}  (paper: 1e-5, 0.3)",
+        s.median_without, s.p90_without
+    );
+    println!(
+        "with OTAM   : median {:.1e}, p90 {:.1e}  (paper: 1e-12, 1e-3)",
+        s.median_with, s.p90_with
+    );
+}

@@ -1,0 +1,130 @@
+//! Runs the full reproduction: every figure, the table, the
+//! microbenchmarks and the ablations, writing all CSVs into `results/`.
+//!
+//! Run with: `cargo run --release -p mmx-bench --bin repro`
+
+use mmx_bench::*;
+
+fn main() {
+    println!("mmX reproduction harness — every table and figure\n");
+
+    let hash = fig06_tma_hash::run();
+    output::emit(
+        "Fig. 6 — TMA direction→frequency hash (measured spectrum)",
+        "fig06_tma_hash",
+        &fig06_tma_hash::table(&hash),
+    );
+    output::emit(
+        "Fig. 7 — VCO carrier frequency vs tuning voltage",
+        "fig07_vco",
+        &fig07_vco::table(),
+    );
+    output::emit(
+        "Fig. 8 — node beam patterns",
+        "fig08_beams",
+        &fig08_beams::table(),
+    );
+    output::emit(
+        "Fig. 9 — received waveform examples",
+        "fig09_waveforms",
+        &fig09_waveforms::table(),
+    );
+    let map = fig10_snr_map::sweep(1);
+    output::emit(
+        "Fig. 10 — SNR map w/o and w/ OTAM",
+        "fig10_snr_map",
+        &fig10_snr_map::table(&map),
+    );
+    let ber = fig11_ber_cdf::samples(1000, 7);
+    output::emit(
+        "Fig. 11 — BER CDF",
+        "fig11_ber_cdf",
+        &fig11_ber_cdf::table(&ber),
+    );
+    let range = fig12_range::sweep();
+    output::emit(
+        "Fig. 12 — SNR vs distance",
+        "fig12_range",
+        &fig12_range::table(&range),
+    );
+    let multi = fig13_multinode::sweep(10, 11);
+    output::emit(
+        "Fig. 13 — SINR vs concurrent nodes",
+        "fig13_multinode",
+        &fig13_multinode::table(&multi),
+    );
+    output::emit(
+        "Table 1 — platform comparison",
+        "table1_comparison",
+        &table1::table(),
+    );
+    output::emit(
+        "§9.1 microbenchmarks",
+        "table1_microbenchmarks",
+        &table1::microbenchmarks(),
+    );
+    output::emit(
+        "Ablation §6.2 — beam orthogonality",
+        "ablation_beams",
+        &ablations::beam_ablation(2000, 5),
+    );
+    output::emit(
+        "Ablation §6.3 — modulation",
+        "ablation_modulation",
+        &ablations::modulation_ablation(2000, 6),
+    );
+    output::emit(
+        "Ablation — beam search vs OTAM",
+        "ablation_search",
+        &ablations::search_ablation(),
+    );
+    output::emit(
+        "Ablation §9.3 — coding",
+        "ablation_coding",
+        &ablations::coding_ablation(100_000, 4),
+    );
+    output::emit(
+        "Ablation — uplink power control at 20 nodes",
+        "ablation_power_control",
+        &ablations::power_control_ablation(7),
+    );
+
+    // Summary block for EXPERIMENTS.md.
+    println!("== paper-vs-measured summary ==");
+    let (sa, sb) = fig06_tma_hash::suppressions(&hash);
+    println!(
+        "fig06: TMA hashes two same-frequency nodes onto harmonics +1/−2 with          {sa:.0}/{sb:.0} dB cross-suppression (paper: copies 20-30 dB weaker)"
+    );
+    let vco = fig07_vco::summarize(&fig07_vco::sweep());
+    println!(
+        "fig07: sweep {:.4}-{:.4} GHz (paper 23.95-24.25), ISM covered: {}",
+        vco.f_min_ghz, vco.f_max_ghz, vco.covers_ism
+    );
+    let beams = fig08_beams::summarize();
+    println!(
+        "fig08: beam1 peak {:.1}°, beam0 peaks {:?}, HPBW {:.1}° (paper: 0°, ±30°, 40°)",
+        beams.beam1_peak_deg, beams.beam0_peaks_deg, beams.beam1_hpbw_deg
+    );
+    let s10 = fig10_snr_map::summarize(&map);
+    println!(
+        "fig10: {:.0}% <5 dB w/o OTAM; {:.0}% ≥10 dB w/ OTAM (paper: 'many' / 'almost all')",
+        100.0 * s10.frac_below_5db_without,
+        100.0 * s10.frac_at_least_10db_with
+    );
+    let s11 = fig11_ber_cdf::summarize(&ber);
+    println!(
+        "fig11: median {:.1e}→{:.1e}, p90 {:.1e}→{:.1e} (paper: 1e-5→1e-12, 0.3→1e-3)",
+        s11.median_without, s11.median_with, s11.p90_without, s11.p90_with
+    );
+    println!(
+        "fig12: facing {:.1}→{:.1} dB over 1–18 m (paper ~40→≥15); rotated ≥{:.1} dB at 18 m (paper ≥9)",
+        range[0].snr_facing,
+        range[17].snr_facing,
+        range[17].snr_not_facing
+    );
+    let m20 = multi.last().expect("non-empty");
+    println!(
+        "fig13: 20-node mean SINR {:.1} dB with real interference (paper 29 dB, idealized)",
+        m20.mean_sinr_db
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1 (platform comparison) and the §9.1
+//! microbenchmarks.
+//!
+//! Run with: `cargo run -p mmx-bench --bin table1_comparison`
+
+use mmx_bench::{output, table1};
+
+fn main() {
+    output::emit(
+        "Table 1 — comparison of mmX with existing platforms",
+        "table1_comparison",
+        &table1::table(),
+    );
+    output::emit(
+        "§9.1 microbenchmarks — node hardware",
+        "table1_microbenchmarks",
+        &table1::microbenchmarks(),
+    );
+}

@@ -1,0 +1,138 @@
+//! Extension experiment: the 60 GHz band (§7a).
+//!
+//! The paper prototypes at 24 GHz but motivates 60 GHz: "the available
+//! unlicensed spectrum at 24 GHz and 60 GHz are 250 MHz and 7 GHz wide"
+//! — enough for hundreds of camera channels. The trade: ~8 dB more
+//! spreading loss and the oxygen absorption line. This module quantifies
+//! both sides.
+
+use mmx_channel::pathloss::{atmospheric_absorption, path_loss};
+use mmx_core::report::TextTable;
+use mmx_net::fdm::BandPlan;
+use mmx_units::{BitRate, Db, DbmPower, Hertz};
+
+/// Channel capacity of both bands for a given per-node demand.
+pub fn capacity_table() -> TextTable {
+    let mut t = TextTable::new([
+        "band",
+        "spectrum",
+        "10 Mbps cameras",
+        "25 MHz channels",
+        "100 Mbps nodes",
+    ]);
+    for (name, plan) in [
+        ("24 GHz ISM", BandPlan::ism_24ghz()),
+        ("60 GHz unlicensed", BandPlan::unlicensed_60ghz()),
+    ] {
+        let cam = plan.capacity(plan.width_for(BitRate::from_mbps(10.0)));
+        let ch25 = plan.capacity(Hertz::from_mhz(25.0));
+        let full = plan.capacity(plan.width_for(BitRate::from_mbps(100.0)));
+        t.row([
+            name.to_string(),
+            format!("{}", plan.band().bandwidth()),
+            cam.to_string(),
+            ch25.to_string(),
+            full.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Link margin vs distance at both carriers (same 10 dBm TX, same
+/// antenna gains), including oxygen absorption.
+pub fn range_table(max_m: usize) -> TextTable {
+    let mut t = TextTable::new([
+        "distance m",
+        "24 GHz SNR dB",
+        "60 GHz SNR dB",
+        "60 GHz O2 loss dB",
+    ]);
+    let snr = |freq: Hertz, d: f64| -> f64 {
+        // Fixed-gain budget: 10 dBm + 9.3 + 5 − 18 impl − path loss,
+        // noise in 25 MHz with NF 2.6.
+        let rx = DbmPower::new(10.0) + Db::new(9.3) + Db::new(5.0)
+            - Db::new(18.0)
+            - path_loss(freq, d, 2.0);
+        (rx - mmx_units::thermal_noise_dbm(Hertz::from_mhz(25.0), Db::new(2.6))).value()
+    };
+    for d in (2..=max_m).step_by(2) {
+        t.row([
+            format!("{d}"),
+            format!("{:.1}", snr(Hertz::from_ghz(24.0), d as f64)),
+            format!("{:.1}", snr(Hertz::from_ghz(60.0), d as f64)),
+            format!(
+                "{:.2}",
+                atmospheric_absorption(Hertz::from_ghz(60.0), d as f64).value()
+            ),
+        ]);
+    }
+    t
+}
+
+/// The headline numbers of the extension.
+#[derive(Debug, Clone, Copy)]
+pub struct SixtyGhzSummary {
+    /// 10 Mbps camera channels at 24 GHz.
+    pub cameras_24: usize,
+    /// 10 Mbps camera channels at 60 GHz.
+    pub cameras_60: usize,
+    /// Extra path loss of 60 GHz at 18 m (spreading + O₂), dB.
+    pub extra_loss_at_18m_db: f64,
+}
+
+/// Computes the summary.
+pub fn summarize() -> SixtyGhzSummary {
+    let ism = BandPlan::ism_24ghz();
+    let v = BandPlan::unlicensed_60ghz();
+    let w = |p: &BandPlan| p.capacity(p.width_for(BitRate::from_mbps(10.0)));
+    let extra = (path_loss(Hertz::from_ghz(60.0), 18.0, 2.0)
+        - path_loss(Hertz::from_ghz(24.0), 18.0, 2.0))
+    .value();
+    SixtyGhzSummary {
+        cameras_24: w(&ism),
+        cameras_60: w(&v),
+        extra_loss_at_18m_db: extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_ghz_carries_an_order_of_magnitude_more_cameras() {
+        let s = summarize();
+        assert!(
+            s.cameras_60 > 10 * s.cameras_24,
+            "24 GHz {} vs 60 GHz {}",
+            s.cameras_24,
+            s.cameras_60
+        );
+        // §7(a): "wide enough to support many nodes while providing each
+        // with 10-100s of MHz".
+        assert!(s.cameras_60 > 200);
+    }
+
+    #[test]
+    fn sixty_ghz_pays_about_8db_of_spreading() {
+        let s = summarize();
+        // 20·log10(60/24) ≈ 8 dB, plus a whisker of O₂ at 18 m.
+        assert!(
+            (7.5..9.5).contains(&s.extra_loss_at_18m_db),
+            "extra loss = {}",
+            s.extra_loss_at_18m_db
+        );
+    }
+
+    #[test]
+    fn oxygen_is_negligible_indoors() {
+        let o2 = atmospheric_absorption(Hertz::from_ghz(60.0), 18.0).value();
+        assert!(o2 < 0.5, "O2 at 18 m = {o2} dB");
+    }
+
+    #[test]
+    fn tables_render() {
+        assert_eq!(capacity_table().len(), 2);
+        assert!(range_table(20).len() >= 9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 6 — "TMA enables the AP to separate the signals arriving from
+//! different directions and map them to different channels."
+//!
+//! The paper's Fig. 6 is an illustration; we reproduce it as a measured
+//! spectrum: two nodes transmit the *same* carrier frequency from
+//! different directions, the AP's time-modulated array switches at `fp`,
+//! and the combined output shows each signal parked on its own harmonic
+//! — the direction→frequency hash, at sample level.
+
+use mmx_antenna::tma::Tma;
+use mmx_core::report::TextTable;
+use mmx_dsp::spectrum::Psd;
+use mmx_dsp::IqBuffer;
+use mmx_units::{Degrees, Hertz};
+
+/// The demo configuration: an 8-element TMA switching at 1 MHz, sampled
+/// at 64 MS/s (8 samples per switch slot).
+pub fn tma() -> Tma {
+    Tma::new(8, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0))
+}
+
+/// Result of the two-node hash experiment.
+#[derive(Debug, Clone)]
+pub struct HashResult {
+    /// Direction of node A (on the harmonic-1 beam).
+    pub dir_a: Degrees,
+    /// Direction of node B (on the harmonic-−2 beam).
+    pub dir_b: Degrees,
+    /// Power of node A's copy at +1·fp, linear.
+    pub a_at_own: f64,
+    /// Power of node A leaking into node B's harmonic.
+    pub a_at_other: f64,
+    /// Power of node B's copy at −2·fp.
+    pub b_at_own: f64,
+    /// Power of node B leaking into node A's harmonic.
+    pub b_at_other: f64,
+    /// The combined output PSD (for the CSV).
+    pub psd: Psd,
+}
+
+/// Runs the experiment.
+pub fn run() -> HashResult {
+    let t = tma();
+    let fs = Hertz::from_mhz(64.0);
+    let fp = t.switch_freq();
+    // Slightly off the exact beam grid: real nodes never sit exactly on
+    // a DFT direction, and on-grid placements give unphysical infinite
+    // suppression (analytic nulls).
+    let dir_a = t.harmonic_direction(1).expect("in range") + Degrees::new(2.0);
+    let dir_b = t.harmonic_direction(-2).expect("in range") - Degrees::new(2.0);
+    let n = 65_536;
+    // Both nodes transmit the same carrier (DC at baseband).
+    let tone = IqBuffer::tone(1.0, Hertz::new(0.0), n, fs);
+    let out_a = t.modulate_block(&tone, dir_a);
+    let out_b = t.modulate_block(&tone, dir_b);
+    let mut combined = out_a.clone();
+    combined.mix_in(&out_b);
+
+    let band = |psd: &Psd, m: f64| {
+        let c = fp * m;
+        psd.band_power(c - fp * 0.3, c + fp * 0.3)
+    };
+    // Per-node leakage measured on the isolated outputs; the combined
+    // PSD goes to the CSV.
+    let psd_a = Psd::welch(&out_a, 4096);
+    let psd_b = Psd::welch(&out_b, 4096);
+    let psd = Psd::welch(&combined, 4096);
+    HashResult {
+        dir_a,
+        dir_b,
+        a_at_own: band(&psd_a, 1.0),
+        a_at_other: band(&psd_a, -2.0),
+        b_at_own: band(&psd_b, -2.0),
+        b_at_other: band(&psd_b, 1.0),
+        psd,
+    }
+}
+
+/// Renders the combined spectrum around the harmonics of interest.
+pub fn table(r: &HashResult) -> TextTable {
+    let mut t = TextTable::new(["freq MHz", "PSD dB/Hz"]);
+    for (f, d) in r.psd.freqs().iter().zip(r.psd.density()) {
+        if f.mhz().abs() <= 5.0 {
+            t.row([
+                format!("{:.3}", f.mhz()),
+                format!("{:.1}", 10.0 * d.max(1e-30).log10()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Suppression of each node's copy in the *other* node's harmonic, dB.
+pub fn suppressions(r: &HashResult) -> (f64, f64) {
+    (
+        10.0 * (r.a_at_own / r.a_at_other.max(1e-30)).log10(),
+        10.0 * (r.b_at_own / r.b_at_other.max(1e-30)).log10(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_signal_lands_on_its_harmonic() {
+        let r = run();
+        assert!(r.a_at_own > 10.0 * r.a_at_other, "A: {r:?}");
+        assert!(r.b_at_own > 10.0 * r.b_at_other, "B leak too high");
+    }
+
+    #[test]
+    fn cross_harmonic_suppression_matches_paper_band() {
+        // Paper: the unwanted copies are "20-30 dB weaker". At exactly
+        // on-grid directions the analytic suppression is even deeper;
+        // demand at least 15 dB from the sampled spectrum.
+        let r = run();
+        let (sa, sb) = suppressions(&r);
+        assert!(sa > 15.0, "A suppression {sa} dB");
+        assert!(sb > 15.0, "B suppression {sb} dB");
+    }
+
+    #[test]
+    fn combined_spectrum_shows_both_copies() {
+        let r = run();
+        let fp = tma().switch_freq();
+        let at = |m: f64| r.psd.band_power(fp * m - fp * 0.3, fp * m + fp * 0.3);
+        let a = at(1.0);
+        let b = at(-2.0);
+        let empty = at(3.0);
+        assert!(a > 10.0 * empty, "harmonic 1 not visible");
+        assert!(b > 10.0 * empty, "harmonic −2 not visible");
+    }
+
+    #[test]
+    fn directions_are_distinct_beams() {
+        let r = run();
+        assert!(r.dir_a.distance(r.dir_b).value() > 20.0);
+    }
+
+    #[test]
+    fn table_covers_the_harmonic_region() {
+        let r = run();
+        assert!(table(&r).len() > 100);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 7 — "VCO's carrier frequency versus its control voltage."
+//!
+//! Paper series: tuning 3.4–5.0 V sweeps 23.95–24.25 GHz, covering the
+//! entire 24 GHz ISM band, with enough sensitivity that a small voltage
+//! nudge implements the joint ASK–FSK frequency offset.
+
+use mmx_core::report::TextTable;
+use mmx_rf::vco::Vco;
+use mmx_units::Band;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct VcoPoint {
+    /// Control voltage.
+    pub volts: f64,
+    /// Oscillation frequency, GHz.
+    pub ghz: f64,
+    /// Local tuning sensitivity, MHz/V.
+    pub mhz_per_volt: f64,
+}
+
+/// Sweeps the HMC533 tuning curve (the Fig. 7 x-axis: 3.4–5.0 V).
+pub fn sweep() -> Vec<VcoPoint> {
+    let vco = Vco::hmc533();
+    let mut out = Vec::new();
+    let mut v = 3.4;
+    while v <= 5.0 + 1e-9 {
+        out.push(VcoPoint {
+            volts: v,
+            ghz: vco.frequency(v).ghz(),
+            mhz_per_volt: vco.sensitivity(v) / 1e6,
+        });
+        v += 0.05;
+    }
+    out
+}
+
+/// Summary facts the paper quotes about the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct VcoSummary {
+    /// Lowest frequency in the sweep, GHz.
+    pub f_min_ghz: f64,
+    /// Highest frequency in the sweep, GHz.
+    pub f_max_ghz: f64,
+    /// Whether the sweep covers the whole ISM band.
+    pub covers_ism: bool,
+}
+
+/// Computes the summary from a sweep.
+pub fn summarize(points: &[VcoPoint]) -> VcoSummary {
+    let f_min = points.iter().map(|p| p.ghz).fold(f64::INFINITY, f64::min);
+    let f_max = points
+        .iter()
+        .map(|p| p.ghz)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ism = Band::ism_24ghz();
+    VcoSummary {
+        f_min_ghz: f_min,
+        f_max_ghz: f_max,
+        covers_ism: f_min <= ism.low.ghz() && f_max >= ism.high.ghz(),
+    }
+}
+
+/// Renders the sweep as the figure's data table.
+pub fn table() -> TextTable {
+    let mut t = TextTable::new(["tuning V", "frequency GHz", "sensitivity MHz/V"]);
+    for p in sweep() {
+        t.row([
+            format!("{:.2}", p.volts),
+            format!("{:.4}", p.ghz),
+            format!("{:.0}", p.mhz_per_volt),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_endpoints() {
+        let s = summarize(&sweep());
+        assert!((s.f_min_ghz - 23.95).abs() < 1e-6, "min {}", s.f_min_ghz);
+        assert!((s.f_max_ghz - 24.25).abs() < 1e-6, "max {}", s.f_max_ghz);
+        assert!(s.covers_ism);
+    }
+
+    #[test]
+    fn curve_is_monotone_within_range() {
+        let pts = sweep();
+        for w in pts.windows(2) {
+            if w[0].volts >= 3.5 && w[1].volts <= 4.9 {
+                assert!(w[1].ghz > w[0].ghz);
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_supports_mhz_scale_fsk() {
+        // A 10 mV DAC step must shift ≥1 MHz somewhere in the band.
+        let pts = sweep();
+        assert!(pts.iter().any(|p| p.mhz_per_volt * 0.01 >= 1.0));
+    }
+
+    #[test]
+    fn table_has_full_sweep() {
+        assert_eq!(table().len(), sweep().len());
+        assert!(sweep().len() >= 30);
+    }
+}

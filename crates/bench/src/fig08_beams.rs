@@ -1,0 +1,108 @@
+//! Fig. 8 — "Measured beam patterns of mmX's node."
+//!
+//! Paper series: the two azimuth patterns; Beam 1 peaks broadside, Beam 0
+//! peaks at ±30° with a broadside null, and each beam has nulls at the
+//! other's peaks (orthogonality).
+
+use mmx_antenna::beams::{NodeBeams, OtamBeam};
+use mmx_antenna::pattern::SampledPattern;
+use mmx_core::report::TextTable;
+use mmx_units::{Db, Degrees, Hertz};
+
+/// The two sampled patterns (0.5° resolution).
+pub fn patterns() -> (SampledPattern, SampledPattern) {
+    let beams = NodeBeams::orthogonal(Hertz::from_ghz(24.0));
+    let p0 = SampledPattern::sample(0.5, |az| beams.gain(OtamBeam::Beam0, az));
+    let p1 = SampledPattern::sample(0.5, |az| beams.gain(OtamBeam::Beam1, az));
+    (p0, p1)
+}
+
+/// The figure's polar-plot data, decimated to 2° steps, gains floored at
+/// −25 dBi like the paper's axis.
+pub fn table() -> TextTable {
+    let (p0, p1) = patterns();
+    let mut t = TextTable::new(["azimuth deg", "Beam 0 dBi", "Beam 1 dBi"]);
+    for (i, (az, g0)) in p0.iter().enumerate() {
+        if i % 4 != 0 {
+            continue;
+        }
+        let g1 = p1.gain_at(i);
+        t.row([
+            format!("{:.0}", az.value()),
+            format!("{:.1}", g0.value().max(-25.0)),
+            format!("{:.1}", g1.value().max(-25.0)),
+        ]);
+    }
+    t
+}
+
+/// The quoted features of the figure.
+#[derive(Debug, Clone)]
+pub struct BeamSummary {
+    /// Beam 1 peak azimuth (≈0°).
+    pub beam1_peak_deg: f64,
+    /// Beam 0 peak azimuths (≈±30°).
+    pub beam0_peaks_deg: Vec<f64>,
+    /// Beam 1's 3 dB beamwidth.
+    pub beam1_hpbw_deg: f64,
+    /// Worst-case gain either beam offers at the other's peak.
+    pub orthogonality_leak_db: f64,
+}
+
+/// Extracts the summary.
+pub fn summarize() -> BeamSummary {
+    let (p0, p1) = patterns();
+    let beam0_peaks: Vec<f64> = p0
+        .peaks(Db::new(1.0))
+        .iter()
+        .map(|(a, _)| a.value())
+        .collect();
+    let beams = NodeBeams::orthogonal(Hertz::from_ghz(24.0));
+    let leak = beams
+        .gain(OtamBeam::Beam0, Degrees::new(0.0))
+        .max(beams.gain(OtamBeam::Beam1, Degrees::new(30.0)))
+        .max(beams.gain(OtamBeam::Beam1, Degrees::new(-30.0)));
+    BeamSummary {
+        beam1_peak_deg: p1.peak().0.value(),
+        beam0_peaks_deg: beam0_peaks,
+        beam1_hpbw_deg: p1.hpbw().value(),
+        orthogonality_leak_db: leak.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beam1_peaks_broadside() {
+        let s = summarize();
+        assert!(s.beam1_peak_deg.abs() < 1.0, "peak at {}", s.beam1_peak_deg);
+    }
+
+    #[test]
+    fn beam0_has_two_arms_near_pm30() {
+        let s = summarize();
+        assert_eq!(s.beam0_peaks_deg.len(), 2, "{:?}", s.beam0_peaks_deg);
+        assert!(s.beam0_peaks_deg.iter().any(|&a| (a - 27.0).abs() < 6.0));
+        assert!(s.beam0_peaks_deg.iter().any(|&a| (a + 27.0).abs() < 6.0));
+    }
+
+    #[test]
+    fn beams_are_orthogonal() {
+        // Each beam is >60 dB down at the other's peak (analytically a
+        // perfect null).
+        let s = summarize();
+        assert!(
+            s.orthogonality_leak_db < -60.0,
+            "leak = {}",
+            s.orthogonality_leak_db
+        );
+    }
+
+    #[test]
+    fn table_covers_full_circle() {
+        let t = table();
+        assert_eq!(t.len(), 180); // 360° / 2°
+    }
+}

@@ -1,0 +1,165 @@
+//! Fig. 10 — "SNR of mmX's nodes at the AP" over the 6 m × 4 m room,
+//! without OTAM (Beam 1 carries radio-modulated ASK) and with OTAM.
+//!
+//! Protocol (§9.2): AP on one side of the room; node at random locations
+//! with orientation drawn from ±60°; one person blocks the LoS for the
+//! entire experiment. The paper's shape: without OTAM many spots fall
+//! below 5 dB; with OTAM (essentially) all spots clear ~10–11 dB.
+
+use mmx_channel::blockage::HumanBlocker;
+use mmx_channel::response::Pose;
+use mmx_channel::Vec2;
+use mmx_core::report::TextTable;
+use mmx_core::Testbed;
+use mmx_units::Degrees;
+use rand::{Rng, SeedableRng};
+
+/// One map cell.
+#[derive(Debug, Clone, Copy)]
+pub struct MapPoint {
+    /// Node x position.
+    pub x: f64,
+    /// Node y position.
+    pub y: f64,
+    /// Orientation offset from facing the AP, degrees.
+    pub rotation_deg: f64,
+    /// SNR without OTAM (Beam 1 only), dB.
+    pub snr_without: f64,
+    /// SNR with OTAM, dB.
+    pub snr_with: f64,
+}
+
+/// Sweeps the room on a grid with seeded random orientations, the LoS
+/// blocker parked mid-path like the paper's experiment.
+pub fn sweep(seed: u64) -> Vec<MapPoint> {
+    let testbed = Testbed::paper_default();
+    let ap = testbed.ap().position;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut y = 0.4;
+    while y <= 3.6 + 1e-9 {
+        let mut x = 0.4;
+        while x <= 5.2 + 1e-9 {
+            let pos = Vec2::new(x, y);
+            let rotation = rng.gen_range(-60.0..60.0);
+            let facing = (ap - pos).bearing() + Degrees::new(rotation);
+            // One person on the LoS for the whole experiment (§9.2).
+            let mid = (pos + ap) / 2.0;
+            let blocker = HumanBlocker::typical(mid);
+            let obs = testbed.observe(Pose::new(pos, facing), &[blocker]);
+            out.push(MapPoint {
+                x,
+                y,
+                rotation_deg: rotation,
+                snr_without: obs.snr_beam1.value(),
+                snr_with: obs.snr_otam.value(),
+            });
+            x += 0.4;
+        }
+        y += 0.4;
+    }
+    out
+}
+
+/// The paper-quoted summary numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct MapSummary {
+    /// Fraction of placements below 5 dB without OTAM.
+    pub frac_below_5db_without: f64,
+    /// Fraction of placements at or above 10 dB with OTAM.
+    pub frac_at_least_10db_with: f64,
+    /// Fraction of placements at or above 5 dB with OTAM.
+    pub frac_at_least_5db_with: f64,
+    /// Mean improvement of OTAM over Beam-1-only, dB.
+    pub mean_gain_db: f64,
+}
+
+/// Summarizes a sweep.
+pub fn summarize(points: &[MapPoint]) -> MapSummary {
+    let n = points.len() as f64;
+    MapSummary {
+        frac_below_5db_without: points.iter().filter(|p| p.snr_without < 5.0).count() as f64 / n,
+        frac_at_least_10db_with: points.iter().filter(|p| p.snr_with >= 10.0).count() as f64 / n,
+        frac_at_least_5db_with: points.iter().filter(|p| p.snr_with >= 5.0).count() as f64 / n,
+        mean_gain_db: points
+            .iter()
+            .map(|p| p.snr_with - p.snr_without.max(-20.0))
+            .sum::<f64>()
+            / n,
+    }
+}
+
+/// Renders the map data.
+pub fn table(points: &[MapPoint]) -> TextTable {
+    let mut t = TextTable::new(["x m", "y m", "rot deg", "SNR w/o OTAM dB", "SNR w/ OTAM dB"]);
+    for p in points {
+        t.row([
+            format!("{:.1}", p.x),
+            format!("{:.1}", p.y),
+            format!("{:.0}", p.rotation_deg),
+            format!("{:.1}", p.snr_without.max(-20.0)),
+            format!("{:.1}", p.snr_with),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_otam_has_dead_spots() {
+        // Fig. 10(a): "there are many locations with SNRs below 5 dB".
+        let s = summarize(&sweep(1));
+        assert!(
+            s.frac_below_5db_without > 0.15,
+            "only {:.0}% below 5 dB",
+            100.0 * s.frac_below_5db_without
+        );
+    }
+
+    #[test]
+    fn with_otam_nearly_everywhere_usable() {
+        // Fig. 10(b): "SNRs of more than 11 dB in almost all locations".
+        // Our analytic beams roll off harder at the ±50–60° orientation
+        // extremes than the fabricated arrays, so the ≥10 dB fraction
+        // lands lower than the paper's near-100% (see EXPERIMENTS.md);
+        // the usability shape must still hold.
+        let s = summarize(&sweep(1));
+        assert!(
+            s.frac_at_least_10db_with > 0.6,
+            "only {:.0}% at ≥10 dB",
+            100.0 * s.frac_at_least_10db_with
+        );
+        assert!(
+            s.frac_at_least_5db_with > 0.9,
+            "only {:.0}% at ≥5 dB",
+            100.0 * s.frac_at_least_5db_with
+        );
+    }
+
+    #[test]
+    fn otam_gain_is_positive_on_average() {
+        let s = summarize(&sweep(1));
+        assert!(s.mean_gain_db > 3.0, "mean gain = {} dB", s.mean_gain_db);
+    }
+
+    #[test]
+    fn grid_covers_the_room() {
+        let pts = sweep(1);
+        assert!(pts.len() > 80, "grid has {} cells", pts.len());
+        assert!(pts.iter().all(|p| p.x <= 5.2 && p.y <= 3.6));
+        assert_eq!(table(&pts).len(), pts.len());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let a = sweep(3);
+        let b = sweep(3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.snr_with, y.snr_with);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared output helpers for the experiment binaries.
+
+use mmx_core::report::TextTable;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The directory experiment CSVs are written to (`results/` at the
+/// workspace root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = match std::env::var("MMX_RESULTS_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => workspace_root().join("results"),
+    };
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels below the root")
+        .to_path_buf()
+}
+
+/// Prints a titled table and writes it as `results/<name>.csv`.
+pub fn emit(title: &str, name: &str, table: &TextTable) {
+    println!("== {title} ==");
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    match fs::write(&path, table.to_csv()) {
+        Ok(()) => println!("[written {}]\n", path.display()),
+        Err(e) => eprintln!("[could not write {}: {e}]\n", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists(), "results dir {d:?} missing");
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1"]);
+        emit("smoke", "zz_smoke_test", &t);
+        let p = results_dir().join("zz_smoke_test.csv");
+        let content = fs::read_to_string(&p).expect("csv written");
+        assert!(content.starts_with("a\n"));
+        let _ = fs::remove_file(p);
+    }
+}

@@ -1,0 +1,103 @@
+//! Table 1 — "Comparison of mmX with existing mmWave platforms and other
+//! wireless systems", plus the §9.1 microbenchmarks.
+
+use mmx_baseline::Platform;
+use mmx_core::report::TextTable;
+use mmx_rf::cost::CostLedger;
+use mmx_rf::frontend::NodeFrontEnd;
+use mmx_rf::power::PowerLedger;
+use mmx_units::BitRate;
+
+/// Renders Table 1 with the energy-efficiency column *computed* from the
+/// power and rate columns.
+pub fn table() -> TextTable {
+    let mut t = TextTable::new([
+        "platform",
+        "carrier",
+        "cost USD",
+        "power",
+        "TX power",
+        "bandwidth",
+        "PHY bitrate",
+        "nJ/bit",
+        "range m",
+    ]);
+    for p in Platform::table1() {
+        t.row([
+            p.name.clone(),
+            format!("{}", p.carrier),
+            format!("{:.0}", p.cost_usd),
+            format!("{}", p.power),
+            format!("{}", p.tx_power),
+            format!("{}", p.bandwidth),
+            format!("{}", p.phy_rate),
+            format!("{:.1}", p.energy_per_bit_nj()),
+            format!("{:.0}", p.range_m),
+        ]);
+    }
+    t
+}
+
+/// The §9.1 node microbenchmarks: the power ledger, the switch-limited
+/// rate, and the derived efficiency.
+pub fn microbenchmarks() -> TextTable {
+    let mut t = TextTable::new(["microbenchmark", "value", "paper"]);
+    let fe = NodeFrontEnd::standard();
+    let power = PowerLedger::mmx_node();
+    t.row([
+        "max bit rate (switch-limited)".to_string(),
+        format!("{}", fe.max_bit_rate()),
+        "100 Mbps".to_string(),
+    ]);
+    t.row([
+        "node power".to_string(),
+        format!("{}", power.total()),
+        "1.1 W".to_string(),
+    ]);
+    t.row([
+        "energy efficiency @100 Mbps".to_string(),
+        format!(
+            "{:.1} nJ/bit",
+            power.energy_per_bit_nj(BitRate::from_mbps(100.0))
+        ),
+        "11 nJ/bit".to_string(),
+    ]);
+    t.row([
+        "antenna power".to_string(),
+        format!("{}", fe.antenna_power()),
+        "10 dBm".to_string(),
+    ]);
+    t.row([
+        "node BOM cost".to_string(),
+        format!("${:.0}", CostLedger::mmx_node().total()),
+        "$110".to_string(),
+    ]);
+    t.row([
+        "conventional phased node BOM".to_string(),
+        format!("${:.0}", CostLedger::conventional_phased_node().total()),
+        "hundreds of dollars (§1)".to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_five_platforms() {
+        let t = table();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn microbenchmarks_cover_the_headlines() {
+        let t = microbenchmarks();
+        assert_eq!(t.len(), 6);
+        let s = t.render();
+        assert!(s.contains("100.0 Mbps"));
+        assert!(s.contains("1.10 W"));
+        assert!(s.contains("11.0 nJ/bit"));
+        assert!(s.contains("$110"));
+    }
+}

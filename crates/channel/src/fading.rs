@@ -1,0 +1,267 @@
+//! Small-scale fading: Rician channels and time-correlated fading
+//! processes.
+//!
+//! The geometric tracer captures the few *specular* paths the paper's
+//! measurements show; real rooms add diffuse scatter that makes each
+//! beam's complex gain wobble around the specular value. A Rician factor
+//! with the line-of-sight K-factor captures it: `h' = h·(√(K/(K+1)) +
+//! CN(0, 1/(K+1)))`. Indoor mmWave links measure K ≈ 5–10 dB.
+
+use crate::response::BeamChannel;
+use mmx_dsp::Complex;
+use mmx_units::{Db, Hertz, Seconds};
+use rand::Rng;
+
+/// Channel coherence time for a scatterer/blocker moving at `speed_mps`
+/// at carrier `freq`: `Tc ≈ λ / (2v)` (the 50%-correlation rule of
+/// thumb).
+///
+/// This is why beam searching is so punishing at mmWave (§6): at 24 GHz
+/// a 1.4 m/s pedestrian gives `Tc ≈ 4.5 ms`, so a 260 µs exhaustive
+/// sweep re-run every coherence interval eats ~6% of airtime — while
+/// OTAM needs none.
+pub fn coherence_time(freq: Hertz, speed_mps: f64) -> Seconds {
+    assert!(speed_mps > 0.0, "speed must be positive");
+    Seconds::new(freq.wavelength_m() / (2.0 * speed_mps))
+}
+
+/// Maximum Doppler shift at `speed_mps`: `f_d = v/λ`.
+pub fn doppler_shift(freq: Hertz, speed_mps: f64) -> Hertz {
+    assert!(speed_mps >= 0.0, "speed cannot be negative");
+    Hertz::new(speed_mps / freq.wavelength_m())
+}
+
+/// A Rician fading model with a fixed K-factor.
+#[derive(Debug, Clone, Copy)]
+pub struct Rician {
+    k_linear: f64,
+}
+
+impl Rician {
+    /// Creates a fader with K-factor `k` (specular-to-diffuse power
+    /// ratio).
+    pub fn new(k: Db) -> Self {
+        let k_linear = k.linear();
+        assert!(k_linear >= 0.0, "K-factor must be non-negative");
+        Rician { k_linear }
+    }
+
+    /// A typical indoor mmWave link: K = 7 dB.
+    pub fn indoor_mmwave() -> Self {
+        Rician::new(Db::new(7.0))
+    }
+
+    /// The K-factor.
+    pub fn k(&self) -> Db {
+        Db::from_linear(self.k_linear)
+    }
+
+    /// Draws one unit-mean-power fading coefficient.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex {
+        let k = self.k_linear;
+        let specular = (k / (k + 1.0)).sqrt();
+        let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+        Complex::new(specular + sigma * gauss(rng), sigma * gauss(rng))
+    }
+
+    /// Applies independent fading to both beams of a channel.
+    pub fn fade<R: Rng + ?Sized>(&self, ch: &BeamChannel, rng: &mut R) -> BeamChannel {
+        BeamChannel {
+            h0: ch.h0 * self.sample(rng),
+            h1: ch.h1 * self.sample(rng),
+        }
+    }
+}
+
+/// A time-correlated fading process: a first-order Gauss–Markov walk of
+/// the diffuse component, parameterized by the per-step correlation
+/// (1.0 = frozen channel, 0.0 = independent draws each step).
+#[derive(Debug, Clone)]
+pub struct FadingProcess {
+    rician: Rician,
+    rho: f64,
+    /// Current diffuse state (unit-variance complex).
+    state0: Complex,
+    state1: Complex,
+}
+
+impl FadingProcess {
+    /// Creates a process with per-step correlation `rho`, initialized
+    /// from `rng`.
+    pub fn new<R: Rng + ?Sized>(rician: Rician, rho: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "correlation out of range");
+        FadingProcess {
+            rician,
+            rho,
+            state0: circular_gauss(rng),
+            state1: circular_gauss(rng),
+        }
+    }
+
+    /// Advances one step and returns the faded channel.
+    pub fn step<R: Rng + ?Sized>(&mut self, ch: &BeamChannel, rng: &mut R) -> BeamChannel {
+        let innov = (1.0 - self.rho * self.rho).sqrt();
+        self.state0 = self.state0.scale(self.rho) + circular_gauss(rng).scale(innov);
+        self.state1 = self.state1.scale(self.rho) + circular_gauss(rng).scale(innov);
+        let k = self.rician.k_linear;
+        let spec = (k / (k + 1.0)).sqrt();
+        let diff = (1.0 / (k + 1.0)).sqrt();
+        BeamChannel {
+            h0: ch.h0 * (Complex::real(spec) + self.state0.scale(diff)),
+            h1: ch.h1 * (Complex::real(spec) + self.state1.scale(diff)),
+        }
+    }
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Unit-variance circular complex Gaussian.
+fn circular_gauss<R: Rng + ?Sized>(rng: &mut R) -> Complex {
+    Complex::new(gauss(rng), gauss(rng)).scale(std::f64::consts::FRAC_1_SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xFAD)
+    }
+
+    #[test]
+    fn coherence_time_at_24ghz_walking_pace() {
+        // λ = 12.5 mm, v = 1.4 m/s → Tc ≈ 4.5 ms.
+        let tc = coherence_time(Hertz::from_ghz(24.0), 1.4);
+        assert!((tc.millis() - 4.46).abs() < 0.1, "Tc = {tc}");
+        // Slower motion → longer coherence.
+        assert!(coherence_time(Hertz::from_ghz(24.0), 0.5) > tc);
+        // Higher carrier → shorter coherence.
+        assert!(coherence_time(Hertz::from_ghz(60.0), 1.4) < tc);
+    }
+
+    #[test]
+    fn doppler_shift_scales() {
+        let fd = doppler_shift(Hertz::from_ghz(24.0), 1.4);
+        assert!((fd.hz() - 112.0).abs() < 2.0, "fd = {fd}");
+        assert_eq!(doppler_shift(Hertz::from_ghz(24.0), 0.0).hz(), 0.0);
+    }
+
+    #[test]
+    fn fading_preserves_mean_power() {
+        let f = Rician::indoor_mmwave();
+        let mut r = rng();
+        let n = 200_000;
+        let p: f64 = (0..n).map(|_| f.sample(&mut r).norm_sq()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.01, "mean fading power {p}");
+    }
+
+    #[test]
+    fn high_k_is_nearly_deterministic() {
+        let f = Rician::new(Db::new(40.0));
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = f.sample(&mut r);
+            assert!((s.abs() - 1.0).abs() < 0.05, "|h| = {}", s.abs());
+        }
+    }
+
+    #[test]
+    fn k_zero_is_rayleigh() {
+        // K = 0: no specular part; amplitude fluctuates wildly.
+        let f = Rician::new(Db::new(f64::NEG_INFINITY));
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| f.sample(&mut r).abs()).collect();
+        let below_half = samples.iter().filter(|&&a| a < 0.5).count() as f64 / n as f64;
+        // Rayleigh: P(|h| < 0.5) = 1 − e^(−0.25) ≈ 0.221.
+        assert!((below_half - 0.221).abs() < 0.01, "P = {below_half}");
+    }
+
+    #[test]
+    fn fade_scales_both_beams_independently() {
+        let ch = BeamChannel {
+            h0: Complex::new(1e-3, 0.0),
+            h1: Complex::new(2e-3, 0.0),
+        };
+        let f = Rician::indoor_mmwave();
+        let mut r = rng();
+        let a = f.fade(&ch, &mut r);
+        let b = f.fade(&ch, &mut r);
+        assert_ne!(a.h0, b.h0);
+        // Fading is multiplicative: the ratio across beams survives on
+        // average but individual draws differ.
+        assert_ne!(a.h0.abs() / ch.h0.abs(), a.h1.abs() / ch.h1.abs());
+    }
+
+    #[test]
+    fn frozen_process_is_constant() {
+        let ch = BeamChannel {
+            h0: Complex::new(1e-3, 0.0),
+            h1: Complex::new(2e-3, 0.0),
+        };
+        let mut r = rng();
+        let mut p = FadingProcess::new(Rician::indoor_mmwave(), 1.0, &mut r);
+        let a = p.step(&ch, &mut r);
+        let b = p.step(&ch, &mut r);
+        assert!((a.h0 - b.h0).abs() < 1e-12);
+        assert!((a.h1 - b.h1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_process_decorrelates() {
+        let ch = BeamChannel {
+            h0: Complex::new(1e-3, 0.0),
+            h1: Complex::new(1e-3, 0.0),
+        };
+        let mut r = rng();
+        let mut p = FadingProcess::new(Rician::indoor_mmwave(), 0.0, &mut r);
+        let a = p.step(&ch, &mut r);
+        let b = p.step(&ch, &mut r);
+        assert!((a.h0 - b.h0).abs() > 1e-6);
+    }
+
+    #[test]
+    fn correlated_process_moves_slowly() {
+        let ch = BeamChannel {
+            h0: Complex::new(1e-3, 0.0),
+            h1: Complex::new(1e-3, 0.0),
+        };
+        let mut r = rng();
+        let mut slow = FadingProcess::new(Rician::indoor_mmwave(), 0.99, &mut r);
+        let mut fast = FadingProcess::new(Rician::indoor_mmwave(), 0.1, &mut r);
+        let mut d_slow = 0.0;
+        let mut d_fast = 0.0;
+        let mut prev_s = slow.step(&ch, &mut r);
+        let mut prev_f = fast.step(&ch, &mut r);
+        for _ in 0..500 {
+            let s = slow.step(&ch, &mut r);
+            let f = fast.step(&ch, &mut r);
+            d_slow += (s.h0 - prev_s.h0).abs();
+            d_fast += (f.h0 - prev_f.h0).abs();
+            prev_s = s;
+            prev_f = f;
+        }
+        assert!(d_slow < d_fast / 3.0, "slow {d_slow} vs fast {d_fast}");
+    }
+
+    #[test]
+    fn process_keeps_unit_mean_power() {
+        let ch = BeamChannel {
+            h0: Complex::new(1.0, 0.0),
+            h1: Complex::new(1.0, 0.0),
+        };
+        let mut r = rng();
+        let mut p = FadingProcess::new(Rician::indoor_mmwave(), 0.9, &mut r);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| p.step(&ch, &mut r).h0.norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean power {mean}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Mobility models: random-waypoint nodes and linear walkers.
+//!
+//! The paper's experiments include people walking around the room and a
+//! person parking themselves on the LoS path. These models drive the
+//! dynamic blockage and node-placement sweeps.
+
+use crate::geometry::Vec2;
+use crate::room::Room;
+use rand::Rng;
+
+/// Random-waypoint mobility: pick a uniformly random point in the room,
+/// walk to it at constant speed, repeat.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    position: Vec2,
+    target: Vec2,
+    speed_mps: f64,
+    margin: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a walker at `start` moving at `speed_mps`, staying
+    /// `margin` meters off the walls.
+    pub fn new<R: Rng + ?Sized>(
+        room: &Room,
+        start: Vec2,
+        speed_mps: f64,
+        margin: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        assert!(
+            margin >= 0.0 && 2.0 * margin < room.width().min(room.depth()),
+            "margin too large for the room"
+        );
+        let mut w = RandomWaypoint {
+            position: start,
+            target: start,
+            speed_mps,
+            margin,
+        };
+        w.pick_target(room, rng);
+        w
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Vec2 {
+        self.position
+    }
+
+    fn pick_target<R: Rng + ?Sized>(&mut self, room: &Room, rng: &mut R) {
+        self.target = Vec2::new(
+            rng.gen_range(self.margin..room.width() - self.margin),
+            rng.gen_range(self.margin..room.depth() - self.margin),
+        );
+    }
+
+    /// Advances the walker by `dt` seconds, re-targeting on arrival.
+    pub fn step<R: Rng + ?Sized>(&mut self, room: &Room, dt: f64, rng: &mut R) -> Vec2 {
+        let mut remaining = self.speed_mps * dt;
+        while remaining > 0.0 {
+            let to_target = self.target - self.position;
+            let dist = to_target.length();
+            if dist <= remaining {
+                self.position = self.target;
+                remaining -= dist;
+                self.pick_target(room, rng);
+                if self.target.distance(self.position) < 1e-9 {
+                    break; // pathological: re-picked our own position
+                }
+            } else {
+                self.position = self.position + to_target.normalized() * remaining;
+                remaining = 0.0;
+            }
+        }
+        self.position
+    }
+}
+
+/// A walker pacing back and forth along a fixed line — the "person
+/// blocking the line-of-sight path for the entire duration of the
+/// experiment" (§9.2).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearWalker {
+    a: Vec2,
+    b: Vec2,
+    speed_mps: f64,
+    /// Position parameter folded into [0, 2): [0,1) = a→b, [1,2) = b→a.
+    s: f64,
+}
+
+impl LinearWalker {
+    /// Creates a walker pacing between `a` and `b` at `speed_mps`.
+    pub fn new(a: Vec2, b: Vec2, speed_mps: f64) -> Self {
+        assert!(a.distance(b) > 1e-9, "degenerate walk line");
+        assert!(speed_mps > 0.0, "speed must be positive");
+        LinearWalker {
+            a,
+            b,
+            speed_mps,
+            s: 0.0,
+        }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Vec2 {
+        let t = if self.s < 1.0 { self.s } else { 2.0 - self.s };
+        self.a + (self.b - self.a) * t
+    }
+
+    /// Advances by `dt` seconds and returns the new position.
+    pub fn step(&mut self, dt: f64) -> Vec2 {
+        let len = self.a.distance(self.b);
+        self.s = (self.s + self.speed_mps * dt / len) % 2.0;
+        self.position()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::room::Material;
+    use rand::SeedableRng;
+
+    fn room() -> Room {
+        Room::rectangular(6.0, 4.0, Material::Drywall)
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn waypoint_stays_in_bounds() {
+        let r = room();
+        let mut g = rng();
+        let mut w = RandomWaypoint::new(&r, Vec2::new(3.0, 2.0), 1.4, 0.3, &mut g);
+        for _ in 0..10_000 {
+            let p = w.step(&r, 0.1, &mut g);
+            assert!(p.x >= 0.3 - 1e-9 && p.x <= 5.7 + 1e-9, "x = {}", p.x);
+            assert!(p.y >= 0.3 - 1e-9 && p.y <= 3.7 + 1e-9, "y = {}", p.y);
+        }
+    }
+
+    #[test]
+    fn waypoint_moves_at_configured_speed() {
+        let r = room();
+        let mut g = rng();
+        let mut w = RandomWaypoint::new(&r, Vec2::new(3.0, 2.0), 1.0, 0.3, &mut g);
+        let before = w.position();
+        let after = w.step(&r, 0.5, &mut g);
+        // Step distance ≤ speed·dt (equality unless a waypoint was hit).
+        assert!(before.distance(after) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn waypoint_deterministic_under_seed() {
+        let r = room();
+        let run = || {
+            let mut g = rand::rngs::StdRng::seed_from_u64(5);
+            let mut w = RandomWaypoint::new(&r, Vec2::new(1.0, 1.0), 1.4, 0.3, &mut g);
+            (0..100)
+                .map(|_| w.step(&r, 0.1, &mut g))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn linear_walker_ping_pongs() {
+        let mut w = LinearWalker::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), 1.0);
+        assert_eq!(w.position(), Vec2::new(0.0, 0.0));
+        let p1 = w.step(1.0);
+        assert!((p1.x - 1.0).abs() < 1e-9);
+        let p2 = w.step(1.0);
+        assert!((p2.x - 2.0).abs() < 1e-9);
+        let p3 = w.step(1.0); // now walking back
+        assert!((p3.x - 1.0).abs() < 1e-9);
+        let p4 = w.step(2.0); // back at start, turned around again
+        assert!((p4.x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_walker_never_leaves_segment() {
+        let mut w = LinearWalker::new(Vec2::new(1.0, 1.0), Vec2::new(4.0, 3.0), 2.7);
+        for _ in 0..1000 {
+            let p = w.step(0.173);
+            assert!(p.x >= 1.0 - 1e-9 && p.x <= 4.0 + 1e-9);
+            assert!(p.y >= 1.0 - 1e-9 && p.y <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "margin too large")]
+    fn oversized_margin_rejected() {
+        let r = room();
+        let mut g = rng();
+        let _ = RandomWaypoint::new(&r, Vec2::new(3.0, 2.0), 1.0, 2.5, &mut g);
+    }
+}

@@ -1,0 +1,131 @@
+//! Path-loss models at mmWave carriers.
+
+use mmx_units::{Db, Hertz, SPEED_OF_LIGHT};
+
+/// Free-space path loss over `distance_m` at carrier `freq`:
+/// `FSPL = 20·log10(4πd/λ)`. At 24 GHz this is ≈ 60.1 dB at 1 m — the
+/// "large path loss" that forces mmWave radios to use directional antennas
+/// (§2).
+pub fn fspl(freq: Hertz, distance_m: f64) -> Db {
+    assert!(distance_m > 0.0, "distance must be positive");
+    let lambda = SPEED_OF_LIGHT / freq.hz();
+    Db::new(20.0 * (4.0 * std::f64::consts::PI * distance_m / lambda).log10())
+}
+
+/// Log-distance path loss: FSPL anchored at 1 m, then `10·n·log10(d)`
+/// with path-loss exponent `n` (2.0 = free space; indoor LoS mmWave
+/// measurements cluster at 1.8–2.2).
+pub fn log_distance(freq: Hertz, distance_m: f64, exponent: f64) -> Db {
+    assert!(distance_m > 0.0, "distance must be positive");
+    assert!(exponent > 0.0, "exponent must be positive");
+    fspl(freq, 1.0) + Db::new(10.0 * exponent * distance_m.max(1e-3).log10())
+}
+
+/// Atmospheric (oxygen) absorption in dB for a path of `distance_m` at
+/// carrier `freq`. Negligible at 24 GHz (~0.1 dB/km); the dominant effect
+/// at 60 GHz (~15 dB/km) — one reason the paper prototypes at 24 GHz.
+pub fn atmospheric_absorption(freq: Hertz, distance_m: f64) -> Db {
+    let ghz = freq.ghz();
+    // Piecewise fit of the ITU O₂ specific-attenuation curve (dB/km).
+    let db_per_km = if ghz < 30.0 {
+        0.1
+    } else if ghz < 50.0 {
+        0.3
+    } else if ghz < 70.0 {
+        // The 60 GHz oxygen line: peak ~15 dB/km near 60 GHz.
+        15.0 * (1.0 - ((ghz - 60.0) / 10.0).powi(2)).max(0.2)
+    } else {
+        0.5
+    };
+    Db::new(db_per_km * distance_m / 1000.0)
+}
+
+/// Total large-scale loss of a path: log-distance spreading plus
+/// atmospheric absorption.
+pub fn path_loss(freq: Hertz, distance_m: f64, exponent: f64) -> Db {
+    log_distance(freq, distance_m, exponent) + atmospheric_absorption(freq, distance_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn fspl_at_24ghz_1m() {
+        close(fspl(Hertz::from_ghz(24.0), 1.0).value(), 60.08, 0.05);
+    }
+
+    #[test]
+    fn fspl_at_24ghz_18m() {
+        // +25.1 dB over the 1 m anchor (20·log10(18)).
+        close(fspl(Hertz::from_ghz(24.0), 18.0).value(), 85.19, 0.1);
+    }
+
+    #[test]
+    fn fspl_grows_6db_per_distance_doubling() {
+        let f = Hertz::from_ghz(24.0);
+        let d1 = fspl(f, 2.0);
+        let d2 = fspl(f, 4.0);
+        close((d2 - d1).value(), 6.0206, 1e-3);
+    }
+
+    #[test]
+    fn fspl_grows_with_frequency() {
+        // 60 GHz is ~8 dB worse than 24 GHz at equal distance.
+        let a = fspl(Hertz::from_ghz(24.0), 5.0);
+        let b = fspl(Hertz::from_ghz(60.0), 5.0);
+        close((b - a).value(), 20.0 * (60.0f64 / 24.0).log10(), 1e-6);
+    }
+
+    #[test]
+    fn log_distance_reduces_to_fspl_at_exponent_2() {
+        let f = Hertz::from_ghz(24.0);
+        for d in [1.0, 3.0, 10.0, 18.0] {
+            close(log_distance(f, d, 2.0).value(), fspl(f, d).value(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_is_lossier_beyond_1m() {
+        let f = Hertz::from_ghz(24.0);
+        assert!(log_distance(f, 10.0, 3.0) > log_distance(f, 10.0, 2.0));
+        // ... and identical at the 1 m anchor.
+        close(
+            log_distance(f, 1.0, 3.0).value(),
+            log_distance(f, 1.0, 2.0).value(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn oxygen_negligible_at_24ghz() {
+        let a = atmospheric_absorption(Hertz::from_ghz(24.0), 18.0);
+        assert!(a.value() < 0.01);
+    }
+
+    #[test]
+    fn oxygen_matters_at_60ghz_long_range() {
+        let a = atmospheric_absorption(Hertz::from_ghz(60.0), 1000.0);
+        close(a.value(), 15.0, 0.5);
+        // Indoors (18 m) it is still small.
+        assert!(atmospheric_absorption(Hertz::from_ghz(60.0), 18.0).value() < 0.5);
+    }
+
+    #[test]
+    fn path_loss_composes() {
+        let f = Hertz::from_ghz(60.0);
+        let total = path_loss(f, 100.0, 2.0);
+        let sum = log_distance(f, 100.0, 2.0) + atmospheric_absorption(f, 100.0);
+        close(total.value(), sum.value(), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn zero_distance_rejected() {
+        let _ = fspl(Hertz::from_ghz(24.0), 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Collapsing traced paths into per-beam complex channel gains.
+//!
+//! OTAM's entire premise is that the channel seen through Beam 1 differs
+//! from the channel seen through Beam 0 (§6.1). This module computes those
+//! two complex gains from the traced multipath geometry: each path
+//! contributes its spreading/reflection/obstruction amplitude, its carrier
+//! phase (`2πd/λ`), the node beam's complex response at the departure
+//! bearing, and the AP element's amplitude at the arrival bearing.
+
+use crate::blockage::HumanBlocker;
+use crate::geometry::Vec2;
+use crate::trace::{PropPath, Tracer};
+use mmx_antenna::beams::{NodeBeams, OtamBeam};
+use mmx_antenna::element::Element;
+use mmx_dsp::Complex;
+use mmx_units::{Db, Degrees};
+
+/// Position and facing direction of a radio in the room.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Position in room coordinates.
+    pub position: Vec2,
+    /// World-frame bearing of the antenna boresight.
+    pub facing: Degrees,
+}
+
+impl Pose {
+    /// Creates a pose.
+    pub fn new(position: Vec2, facing: Degrees) -> Self {
+        Pose { position, facing }
+    }
+
+    /// A pose facing directly at a target point.
+    pub fn facing_toward(position: Vec2, target: Vec2) -> Self {
+        Pose {
+            position,
+            facing: (target - position).bearing(),
+        }
+    }
+}
+
+/// The complex channel gain of each node beam toward the AP.
+///
+/// Gains are *amplitude* transfer factors: received field = transmitted
+/// field × `h`. `|h|²` in dB is the link's power gain (a negative number;
+/// it includes antenna gains and all propagation losses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamChannel {
+    /// Complex gain through Beam 0.
+    pub h0: Complex,
+    /// Complex gain through Beam 1.
+    pub h1: Complex,
+}
+
+impl BeamChannel {
+    /// Power gain through a given beam.
+    pub fn gain(&self, beam: OtamBeam) -> Db {
+        let h = match beam {
+            OtamBeam::Beam0 => self.h0,
+            OtamBeam::Beam1 => self.h1,
+        };
+        Db::from_linear(h.norm_sq())
+    }
+
+    /// The stronger beam at the AP right now.
+    pub fn stronger_beam(&self) -> OtamBeam {
+        if self.h1.norm_sq() >= self.h0.norm_sq() {
+            OtamBeam::Beam1
+        } else {
+            OtamBeam::Beam0
+        }
+    }
+
+    /// The ASK modulation depth OTAM produces: `| |h1| − |h0| | / max`,
+    /// expressed as the dB separation of the two envelope levels. Small
+    /// separation = the "similar loss" corner case that needs FSK (§6.3).
+    pub fn level_separation(&self) -> Db {
+        let a0 = self.h0.abs();
+        let a1 = self.h1.abs();
+        let (hi, lo) = if a1 >= a0 { (a1, a0) } else { (a0, a1) };
+        if lo == 0.0 {
+            Db::new(f64::INFINITY)
+        } else {
+            Db::from_amplitude(hi / lo)
+        }
+    }
+
+    /// True when the transmitted bits arrive inverted (Beam 0 stronger
+    /// than Beam 1 — the blocked-LoS regime of Fig. 4b).
+    pub fn inverted(&self) -> bool {
+        self.h0.norm_sq() > self.h1.norm_sq()
+    }
+}
+
+/// Computes the per-beam channel between a node and the AP.
+///
+/// `tracer` supplies geometry and loss; `beams` the node's two arrays;
+/// `ap_element` the AP antenna. Departure angles are evaluated relative to
+/// the node's facing, arrivals relative to the AP's facing.
+pub fn beam_channel(
+    tracer: &Tracer<'_>,
+    node: Pose,
+    ap: Pose,
+    beams: &NodeBeams,
+    ap_element: Element,
+    blockers: &[HumanBlocker],
+) -> BeamChannel {
+    let paths = tracer.trace(node.position, ap.position, blockers);
+    let mut h0 = Complex::ZERO;
+    let mut h1 = Complex::ZERO;
+    for p in &paths {
+        let (c0, c1) = path_contributions(tracer, &p_clone(p), node, ap, beams, ap_element);
+        h0 += c0;
+        h1 += c1;
+    }
+    BeamChannel { h0, h1 }
+}
+
+// PropPath is Copy; this helper keeps the call site readable.
+fn p_clone(p: &PropPath) -> PropPath {
+    *p
+}
+
+fn path_contributions(
+    tracer: &Tracer<'_>,
+    path: &PropPath,
+    node: Pose,
+    ap: Pose,
+    beams: &NodeBeams,
+    ap_element: Element,
+) -> (Complex, Complex) {
+    let loss = tracer.total_loss(path);
+    let amp = (-loss).amplitude();
+    let lambda = tracer.freq().wavelength_m();
+    let phase = -2.0 * std::f64::consts::PI * path.length_m / lambda;
+    let base = Complex::from_polar(amp, phase);
+
+    let departure_rel = (path.departure - node.facing).wrapped();
+    let arrival_rel = (path.arrival - ap.facing).wrapped();
+    let ap_amp = ap_element.amplitude(arrival_rel);
+
+    let c0 = base * beams.response(OtamBeam::Beam0, departure_rel).scale(ap_amp);
+    let c1 = base * beams.response(OtamBeam::Beam1, departure_rel).scale(ap_amp);
+    (c0, c1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::room::{Material, Room};
+    use mmx_units::Hertz;
+
+    fn setup() -> (Room, NodeBeams) {
+        (
+            Room::rectangular(6.0, 4.0, Material::Drywall),
+            NodeBeams::orthogonal(Hertz::from_ghz(24.0)),
+        )
+    }
+
+    fn probe(
+        room: &Room,
+        beams: &NodeBeams,
+        node: Pose,
+        ap: Pose,
+        blockers: &[HumanBlocker],
+    ) -> BeamChannel {
+        let tracer = Tracer::new(room, Hertz::from_ghz(24.0), 2.0);
+        beam_channel(&tracer, node, ap, beams, Element::ApDipole, blockers)
+    }
+
+    #[test]
+    fn facing_node_has_stronger_beam1() {
+        let (room, beams) = setup();
+        let node = Pose::facing_toward(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0));
+        let ap = Pose::facing_toward(Vec2::new(5.0, 2.0), Vec2::new(1.0, 2.0));
+        let ch = probe(&room, &beams, node, ap, &[]);
+        assert_eq!(ch.stronger_beam(), OtamBeam::Beam1);
+        assert!(!ch.inverted());
+        // Clear LoS on Beam 1 vs reflections-only on Beam 0: a healthy
+        // ASK depth.
+        assert!(ch.level_separation().value() > 5.0);
+    }
+
+    #[test]
+    fn both_beams_carry_some_energy() {
+        let (room, beams) = setup();
+        let node = Pose::facing_toward(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0));
+        let ap = Pose::facing_toward(Vec2::new(5.0, 2.0), Vec2::new(1.0, 2.0));
+        let ch = probe(&room, &beams, node, ap, &[]);
+        assert!(ch.h1.abs() > 0.0);
+        assert!(ch.h0.abs() > 0.0, "Beam 0 must reach the AP via walls");
+    }
+
+    #[test]
+    fn blocked_los_inverts_the_channel() {
+        // Fig. 4(b): a person on the LoS kills Beam 1's direct path; Beam
+        // 0's reflected paths win and all bits invert.
+        let (room, beams) = setup();
+        let node = Pose::facing_toward(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0));
+        let ap = Pose::facing_toward(Vec2::new(5.0, 2.0), Vec2::new(1.0, 2.0));
+        let blocker = HumanBlocker {
+            position: Vec2::new(3.0, 2.0),
+            radius: 0.25,
+            loss: Db::new(40.0), // a solid block for the test
+        };
+        let clear = probe(&room, &beams, node, ap, &[]);
+        let blocked = probe(&room, &beams, node, ap, &[blocker]);
+        assert!(!clear.inverted());
+        assert!(blocked.inverted(), "blocked LoS must invert polarity");
+        // Beam 1 lost power; Beam 0 kept its reflected paths.
+        assert!(blocked.gain(OtamBeam::Beam1) < clear.gain(OtamBeam::Beam1));
+        let b0_drop = (clear.gain(OtamBeam::Beam0) - blocked.gain(OtamBeam::Beam0))
+            .value()
+            .abs();
+        assert!(b0_drop < 3.0, "Beam 0 should barely notice ({b0_drop} dB)");
+    }
+
+    #[test]
+    fn channel_gain_magnitude_is_physical() {
+        // 4 m LoS at 24 GHz: spreading ~72 dB, antenna gains ~ +14 dB;
+        // |h1|² should land around −60 dB, certainly within (−90, −40).
+        let (room, beams) = setup();
+        let node = Pose::facing_toward(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0));
+        let ap = Pose::facing_toward(Vec2::new(5.0, 2.0), Vec2::new(1.0, 2.0));
+        let ch = probe(&room, &beams, node, ap, &[]);
+        let g = ch.gain(OtamBeam::Beam1).value();
+        assert!((-90.0..=-40.0).contains(&g), "gain = {g} dB");
+    }
+
+    #[test]
+    fn rotating_the_node_changes_beam_balance() {
+        let (room, beams) = setup();
+        let ap = Pose::facing_toward(Vec2::new(5.0, 2.0), Vec2::new(1.0, 2.0));
+        let facing = probe(
+            &room,
+            &beams,
+            Pose::new(Vec2::new(1.0, 2.0), Degrees::new(0.0)),
+            ap,
+            &[],
+        );
+        // Rotate the node 30°: now the AP sits on a Beam 0 arm.
+        let rotated = probe(
+            &room,
+            &beams,
+            Pose::new(Vec2::new(1.0, 2.0), Degrees::new(30.0)),
+            ap,
+            &[],
+        );
+        assert!(facing.gain(OtamBeam::Beam1) > rotated.gain(OtamBeam::Beam1));
+        assert!(rotated.gain(OtamBeam::Beam0) > facing.gain(OtamBeam::Beam0));
+    }
+
+    #[test]
+    fn farther_ap_weaker_channel() {
+        let (room, beams) = setup();
+        let node = Pose::new(Vec2::new(0.5, 2.0), Degrees::new(0.0));
+        let near = probe(
+            &room,
+            &beams,
+            node,
+            Pose::facing_toward(Vec2::new(2.0, 2.0), Vec2::new(0.5, 2.0)),
+            &[],
+        );
+        let far = probe(
+            &room,
+            &beams,
+            node,
+            Pose::facing_toward(Vec2::new(5.5, 2.0), Vec2::new(0.5, 2.0)),
+            &[],
+        );
+        assert!(near.gain(OtamBeam::Beam1) > far.gain(OtamBeam::Beam1));
+    }
+
+    #[test]
+    fn level_separation_of_dead_beam_is_infinite() {
+        let ch = BeamChannel {
+            h0: Complex::ZERO,
+            h1: Complex::new(1e-3, 0.0),
+        };
+        assert!(!ch.level_separation().is_finite());
+        assert!(ch.level_separation().value() > 0.0);
+    }
+
+    #[test]
+    fn pose_facing_toward_points_correctly() {
+        let p = Pose::facing_toward(Vec2::new(0.0, 0.0), Vec2::new(0.0, 3.0));
+        assert!((p.facing.value() - 90.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! The mmX access point as a device object.
+
+use mmx_channel::response::Pose;
+use mmx_net::ap::ApStation;
+use mmx_net::control::Admission;
+use mmx_net::fdm::BandPlan;
+use mmx_units::{Db, Hertz};
+
+/// The mmX AP: down-converter chain + baseband processor (Fig. 3b), with
+/// an admission controller for the initialization phase and optionally a
+/// TMA for SDM.
+#[derive(Debug, Clone)]
+pub struct MmxAp {
+    station: ApStation,
+    admission: Admission,
+}
+
+impl MmxAp {
+    /// The prototype AP (dipole antenna) with the 24 GHz ISM band plan.
+    pub fn prototype(pose: Pose) -> Self {
+        MmxAp {
+            station: ApStation::dipole(pose),
+            admission: Admission::new(BandPlan::ism_24ghz()),
+        }
+    }
+
+    /// An SDM-capable AP with an `n`-element TMA.
+    pub fn with_tma(pose: Pose, n: usize, switch_freq: Hertz) -> Self {
+        MmxAp {
+            station: ApStation::with_tma(pose, n, switch_freq),
+            admission: Admission::new(BandPlan::ism_24ghz()),
+        }
+    }
+
+    /// The AP pose.
+    pub fn pose(&self) -> Pose {
+        self.station.pose
+    }
+
+    /// Receiver noise figure.
+    pub fn noise_figure(&self) -> Db {
+        self.station.noise_figure()
+    }
+
+    /// The admission controller (initialization phase, §7a).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Mutable admission controller.
+    pub fn admission_mut(&mut self) -> &mut Admission {
+        &mut self.admission
+    }
+
+    /// The underlying station (for the network builder).
+    pub fn station(&self) -> &ApStation {
+        &self.station
+    }
+
+    /// Consumes into the station.
+    pub fn into_station(self) -> ApStation {
+        self.station
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_channel::Vec2;
+    use mmx_units::{BitRate, Degrees};
+
+    fn pose() -> Pose {
+        Pose::new(Vec2::new(5.8, 2.0), Degrees::new(180.0))
+    }
+
+    #[test]
+    fn prototype_has_lna_first_noise_figure() {
+        let ap = MmxAp::prototype(pose());
+        assert!(ap.noise_figure().value() < 3.0);
+    }
+
+    #[test]
+    fn admission_grants_channels() {
+        let mut ap = MmxAp::prototype(pose());
+        ap.admission_mut()
+            .join(1, BitRate::from_mbps(10.0))
+            .expect("grant");
+        assert_eq!(ap.admission().admitted(), 1);
+    }
+
+    #[test]
+    fn tma_variant_carries_array() {
+        let ap = MmxAp::with_tma(pose(), 8, Hertz::from_mhz(1.0));
+        assert!(ap.station().tma().is_some());
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # mmx-core
+//!
+//! The mmX system as a library: the paper's contribution behind one
+//! coherent API.
+//!
+//! ```
+//! use mmx_core::prelude::*;
+//!
+//! // The paper's 6 m × 4 m testbed with the AP on the east wall.
+//! let testbed = Testbed::paper_default();
+//! // Drop a node 4 m from the AP, facing it.
+//! let obs = testbed.observe(testbed.node_pose_at(Vec2::new(1.5, 2.0)), &[]);
+//! assert!(obs.snr_otam.value() > 10.0);
+//! assert!(obs.ber_otam < 1e-8);
+//! ```
+//!
+//! * [`config`] — the shared operating point (carrier, bandwidth,
+//!   losses).
+//! * [`link`] — the single-link evaluator behind Figs. 10–12: SNR/BER
+//!   with and without OTAM at any pose, under any blockers.
+//! * [`node`] / [`ap`] — the mmX node and access point as devices.
+//! * [`network`] — the multi-node network builder over `mmx-net`.
+//! * [`scenario`] — ready-made deployments: smart home, surveillance,
+//!   vehicle (the applications §1 motivates).
+//! * [`report`] — plain-text table rendering for the experiment
+//!   harness.
+
+pub mod ap;
+pub mod config;
+pub mod link;
+pub mod network;
+pub mod node;
+pub mod report;
+pub mod scenario;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::ap::MmxAp;
+    pub use crate::config::MmxConfig;
+    pub use crate::link::{LinkObservation, Testbed};
+    pub use crate::network::MmxNetworkBuilder;
+    pub use crate::node::MmxNode;
+    pub use crate::scenario;
+    pub use mmx_channel::response::Pose;
+    pub use mmx_channel::Vec2;
+    pub use mmx_units::{BitRate, Db, Degrees, Hertz, Seconds};
+}
+
+pub use config::MmxConfig;
+pub use link::{LinkObservation, Testbed};
+pub use network::MmxNetworkBuilder;

@@ -1,0 +1,91 @@
+//! Property-based tests for the mmX core API: invariants of the link
+//! evaluator over arbitrary placements.
+
+use mmx_channel::blockage::HumanBlocker;
+use mmx_channel::response::Pose;
+use mmx_channel::Vec2;
+use mmx_core::Testbed;
+use mmx_units::{Db, Degrees};
+use proptest::prelude::*;
+
+fn inside() -> impl Strategy<Value = Vec2> {
+    (0.4f64..5.2, 0.4f64..3.6).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn otam_snr_dominates_beam1(pos in inside(), rot in -60.0f64..60.0) {
+        let t = Testbed::paper_default();
+        let facing = (t.ap().position - pos).bearing() + Degrees::new(rot);
+        let obs = t.observe(Pose::new(pos, facing), &[]);
+        // OTAM picks the stronger beam: its SNR can never fall below the
+        // Beam-1-only baseline.
+        prop_assert!(obs.snr_otam >= obs.snr_beam1 - Db::new(1e-9));
+    }
+
+    #[test]
+    fn bers_are_probabilities(pos in inside(), rot in -60.0f64..60.0) {
+        let t = Testbed::paper_default();
+        let facing = (t.ap().position - pos).bearing() + Degrees::new(rot);
+        let obs = t.observe(Pose::new(pos, facing), &[]);
+        prop_assert!((0.0..=0.5).contains(&obs.ber_otam));
+        prop_assert!((0.0..=0.5).contains(&obs.ber_beam1));
+    }
+
+    #[test]
+    fn inversion_flag_matches_channel(pos in inside(), rot in -60.0f64..60.0) {
+        let t = Testbed::paper_default();
+        let facing = (t.ap().position - pos).bearing() + Degrees::new(rot);
+        let obs = t.observe(Pose::new(pos, facing), &[]);
+        prop_assert_eq!(obs.inverted, obs.channel.inverted());
+        // Inverted ⇔ Beam 0 carries the mark.
+        let mark_is_b0 = obs.channel.h0.norm_sq() > obs.channel.h1.norm_sq();
+        prop_assert_eq!(obs.inverted, mark_is_b0);
+    }
+
+    #[test]
+    fn blockers_never_raise_beam1(pos in inside(), by in 0.6f64..3.4) {
+        // Beam 1's *LoS component* can only lose power to a blocker; the
+        // coherent sum can wiggle, but a blocker on the LoS midline must
+        // not create large gains.
+        let t = Testbed::paper_default();
+        let pose = t.node_pose_at(pos);
+        let clear = t.observe(pose, &[]);
+        let mid = (pos + t.ap().position) / 2.0;
+        let blocked = t.observe(pose, &[HumanBlocker::typical(Vec2::new(mid.x, by))]);
+        prop_assert!(
+            blocked.snr_beam1.value() <= clear.snr_beam1.value() + 6.0,
+            "blocker raised Beam 1 by {}",
+            blocked.snr_beam1.value() - clear.snr_beam1.value()
+        );
+    }
+
+    #[test]
+    fn observation_is_pure(pos in inside(), rot in -60.0f64..60.0) {
+        let t = Testbed::paper_default();
+        let facing = (t.ap().position - pos).bearing() + Degrees::new(rot);
+        let pose = Pose::new(pos, facing);
+        let a = t.observe(pose, &[]);
+        let b = t.observe(pose, &[]);
+        prop_assert_eq!(a.snr_otam.value(), b.snr_otam.value());
+        prop_assert_eq!(a.ber_otam, b.ber_otam);
+    }
+
+    #[test]
+    fn separation_consistent_with_ber_branch(pos in inside(), rot in -60.0f64..60.0) {
+        // When the levels separate well and the SNR is high, the BER
+        // must be tiny; when the separation is sub-threshold, the BER is
+        // the FSK branch (bounded by 0.5·e^(−snr/2)).
+        let t = Testbed::paper_default();
+        let facing = (t.ap().position - pos).bearing() + Degrees::new(rot);
+        let obs = t.observe(Pose::new(pos, facing), &[]);
+        if obs.separation.value() < 2.0 {
+            let fsk_bound = 0.5 * (-obs.snr_otam.linear() / 2.0).exp();
+            prop_assert!((obs.ber_otam - fsk_bound).abs() <= fsk_bound * 1e-9 + 1e-300);
+        } else if obs.snr_otam.value() > 25.0 && obs.separation.value() > 10.0 {
+            prop_assert!(obs.ber_otam < 1e-9, "ber {} at high SNR", obs.ber_otam);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Automatic gain control.
+//!
+//! The AP's baseband processor normalizes the incoming block to a target
+//! power before slicing; OTAM's absolute levels are channel-dependent and
+//! unknown a priori.
+
+use crate::signal::IqBuffer;
+
+/// A block automatic gain control stage.
+///
+/// Real AGCs are feedback loops; a block-based AGC (measure, then scale
+/// the whole block) is the standard software-receiver simplification and
+/// is exact for our packet-at-a-time processing model.
+#[derive(Debug, Clone, Copy)]
+pub struct Agc {
+    target_power: f64,
+    max_gain: f64,
+}
+
+impl Agc {
+    /// Creates an AGC normalizing to `target_power` with gain capped at
+    /// `max_gain` (linear amplitude) — the cap models the finite gain
+    /// range of real hardware and keeps silence from being amplified into
+    /// garbage.
+    pub fn new(target_power: f64, max_gain: f64) -> Self {
+        assert!(target_power > 0.0, "target power must be positive");
+        assert!(max_gain > 0.0, "max gain must be positive");
+        Agc {
+            target_power,
+            max_gain,
+        }
+    }
+
+    /// A typical receiver AGC: unit target power, 60 dB max gain.
+    pub fn default_rx() -> Self {
+        Agc::new(1.0, 1000.0)
+    }
+
+    /// The amplitude gain that would be applied to `buf`.
+    pub fn gain_for(&self, buf: &IqBuffer) -> f64 {
+        let p = buf.mean_power();
+        if p <= 0.0 {
+            return self.max_gain;
+        }
+        (self.target_power / p).sqrt().min(self.max_gain)
+    }
+
+    /// Normalizes the buffer in place and returns the applied gain.
+    pub fn apply(&self, buf: &mut IqBuffer) -> f64 {
+        let g = self.gain_for(buf);
+        for s in buf.samples_mut() {
+            *s = s.scale(g);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_units::Hertz;
+
+    fn rate() -> Hertz {
+        Hertz::from_mhz(25.0)
+    }
+
+    #[test]
+    fn weak_signal_boosted_to_target() {
+        let mut buf = IqBuffer::tone(0.01, Hertz::from_mhz(1.0), 500, rate());
+        let g = Agc::default_rx().apply(&mut buf);
+        assert!((buf.mean_power() - 1.0).abs() < 1e-9);
+        assert!((g - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_signal_attenuated_to_target() {
+        let mut buf = IqBuffer::tone(10.0, Hertz::from_mhz(1.0), 500, rate());
+        Agc::default_rx().apply(&mut buf);
+        assert!((buf.mean_power() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_cap_limits_silence_amplification() {
+        let mut buf = IqBuffer::tone(1e-6, Hertz::from_mhz(1.0), 100, rate());
+        let agc = Agc::new(1.0, 100.0);
+        let g = agc.apply(&mut buf);
+        assert_eq!(g, 100.0);
+        assert!(buf.mean_power() < 1.0); // could not reach the target
+    }
+
+    #[test]
+    fn zero_buffer_gets_max_gain_without_nan() {
+        let mut buf = IqBuffer::zeros(64, rate());
+        let g = Agc::default_rx().apply(&mut buf);
+        assert_eq!(g, 1000.0);
+        assert!(buf.samples().iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn relative_structure_is_preserved() {
+        // AGC must scale, not distort: the envelope ratio between two
+        // halves of a buffer is invariant.
+        let mut buf = IqBuffer::tone(0.2, Hertz::from_mhz(1.0), 100, rate());
+        let tail = IqBuffer::tone(0.05, Hertz::from_mhz(1.0), 100, rate());
+        buf.extend(&tail);
+        Agc::default_rx().apply(&mut buf);
+        let head_p: f64 = buf.samples()[..100]
+            .iter()
+            .map(|s| s.norm_sq())
+            .sum::<f64>()
+            / 100.0;
+        let tail_p: f64 = buf.samples()[100..]
+            .iter()
+            .map(|s| s.norm_sq())
+            .sum::<f64>()
+            / 100.0;
+        assert!((head_p / tail_p - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "target power")]
+    fn zero_target_rejected() {
+        let _ = Agc::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Calibrated complex additive white Gaussian noise.
+//!
+//! The receiver's thermal noise floor (kTB·NF, from `mmx-units`) is
+//! injected into the sample stream here. The generator is seeded
+//! explicitly so every experiment in the repo is reproducible.
+
+use crate::complex::Complex;
+use crate::signal::IqBuffer;
+use mmx_units::Db;
+use rand::Rng;
+use rand_distr_normal::Normal;
+
+/// A tiny internal normal sampler (Box–Muller) so we do not need the
+/// `rand_distr` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Standard normal sampler via Box–Muller.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        mean: f64,
+        std: f64,
+    }
+
+    impl Normal {
+        pub fn new(mean: f64, std: f64) -> Self {
+            assert!(std >= 0.0, "standard deviation must be non-negative");
+            Normal { mean, std }
+        }
+
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller transform; u1 in (0,1] to avoid ln(0).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            self.mean + self.std * z
+        }
+    }
+}
+
+/// A complex AWGN source with a given total noise power (variance).
+///
+/// For complex noise of power `σ²`, each quadrature has variance `σ²/2`.
+#[derive(Debug, Clone, Copy)]
+pub struct AwgnSource {
+    per_quad_std: f64,
+    power: f64,
+}
+
+impl AwgnSource {
+    /// Creates a source with total complex noise power `power` (linear).
+    pub fn with_power(power: f64) -> Self {
+        assert!(power >= 0.0, "noise power must be non-negative");
+        AwgnSource {
+            per_quad_std: (power / 2.0).sqrt(),
+            power,
+        }
+    }
+
+    /// Creates a source calibrated so that a unit-power signal sees the
+    /// given SNR.
+    pub fn for_unit_signal_snr(snr: Db) -> Self {
+        Self::with_power(1.0 / snr.linear())
+    }
+
+    /// The total complex noise power.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Draws one complex noise sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex {
+        let n = Normal::new(0.0, self.per_quad_std);
+        Complex::new(n.sample(rng), n.sample(rng))
+    }
+
+    /// Adds noise to every sample of a buffer in place.
+    pub fn add_to<R: Rng + ?Sized>(&self, buf: &mut IqBuffer, rng: &mut R) {
+        if self.power == 0.0 {
+            return;
+        }
+        for s in buf.samples_mut() {
+            *s += self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_units::Hertz;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xD5EED)
+    }
+
+    #[test]
+    fn noise_power_is_calibrated() {
+        let src = AwgnSource::with_power(0.25);
+        let mut r = rng();
+        let n = 200_000;
+        let p: f64 = (0..n).map(|_| src.sample(&mut r).norm_sq()).sum::<f64>() / n as f64;
+        assert!((p - 0.25).abs() < 0.005, "measured noise power {p}");
+    }
+
+    #[test]
+    fn snr_calibration_for_unit_signal() {
+        let src = AwgnSource::for_unit_signal_snr(Db::new(10.0));
+        assert!((src.power() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_zero_mean_and_circular() {
+        let src = AwgnSource::with_power(1.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = Complex::ZERO;
+        let mut re_pow = 0.0;
+        let mut im_pow = 0.0;
+        for _ in 0..n {
+            let s = src.sample(&mut r);
+            sum += s;
+            re_pow += s.re * s.re;
+            im_pow += s.im * s.im;
+        }
+        assert!(sum.abs() / (n as f64) < 0.01);
+        // Each quadrature carries half the power.
+        assert!((re_pow / n as f64 - 0.5).abs() < 0.01);
+        assert!((im_pow / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn add_to_raises_buffer_power() {
+        let mut buf = IqBuffer::tone(1.0, Hertz::from_mhz(1.0), 50_000, Hertz::from_mhz(25.0));
+        let src = AwgnSource::with_power(0.5);
+        src.add_to(&mut buf, &mut rng());
+        // Signal power 1 + noise power 0.5 ≈ 1.5.
+        assert!((buf.mean_power() - 1.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_power_source_is_noop() {
+        let mut buf = IqBuffer::tone(1.0, Hertz::from_mhz(1.0), 100, Hertz::from_mhz(25.0));
+        let before = buf.clone();
+        AwgnSource::with_power(0.0).add_to(&mut buf, &mut rng());
+        assert_eq!(buf, before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let src = AwgnSource::with_power(1.0);
+        let a: Vec<Complex> = {
+            let mut r = rng();
+            (0..10).map(|_| src.sample(&mut r)).collect()
+        };
+        let b: Vec<Complex> = {
+            let mut r = rng();
+            (0..10).map(|_| src.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,258 @@
+//! A minimal complex-number type for baseband processing.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// This is the sample type of every IQ buffer in the stack. We implement
+/// only what baseband processing needs (arithmetic, conjugate, polar
+/// conversions, `exp(jθ)`), keeping the crate dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real number.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `r·e^(jθ)` from polar coordinates.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// The unit phasor `e^(jθ)`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`abs`](Self::abs); this is
+    /// the instantaneous power of a sample).
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}j", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}j", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    fn cclose(a: Complex, b: Complex, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        cclose(z + Complex::ZERO, z, 1e-15);
+        cclose(z * Complex::ONE, z, 1e-15);
+        cclose(z - z, Complex::ZERO, 1e-15);
+        cclose(z / z, Complex::ONE, 1e-12);
+        cclose(-z + z, Complex::ZERO, 1e-15);
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        cclose(Complex::J * Complex::J, Complex::real(-1.0), 1e-15);
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let z = Complex::new(3.0, 4.0);
+        close(z.abs(), 5.0, 1e-12);
+        close(z.norm_sq(), 25.0, 1e-12);
+        close(Complex::J.arg(), PI / 2.0, 1e-12);
+        close(Complex::real(-1.0).arg(), PI, 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        close(z.abs(), 2.0, 1e-12);
+        close(z.arg(), 0.7, 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..16 {
+            let theta = 2.0 * PI * k as f64 / 16.0;
+            close(Complex::cis(theta).abs(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_power() {
+        let z = Complex::new(1.5, -2.5);
+        let p = z * z.conj();
+        close(p.re, z.norm_sq(), 1e-12);
+        close(p.im, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        cclose((a * b) / b, a, 1e-12);
+    }
+
+    #[test]
+    fn sum_over_full_circle_is_zero() {
+        let s: Complex = (0..8)
+            .map(|k| Complex::cis(2.0 * PI * k as f64 / 8.0))
+            .sum();
+        close(s.abs(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn display_shows_sign() {
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1.0000-2.0000j");
+        assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1.0000+2.0000j");
+    }
+}

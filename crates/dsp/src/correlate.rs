@@ -1,0 +1,152 @@
+//! Cross-correlation for preamble synchronization.
+//!
+//! Each mmX packet begins with known preamble bits (§6.1); the AP finds the
+//! packet start by sliding the known envelope template over the received
+//! envelope and picking the normalized-correlation peak.
+
+/// Normalized cross-correlation of `template` against `signal` at every
+/// feasible lag. Output length is `signal.len() - template.len() + 1`
+/// (empty when the template is longer than the signal).
+///
+/// Normalization makes the metric scale-invariant — critical because the
+/// OTAM envelope's absolute level depends on the unknown channel gain.
+pub fn normalized_xcorr(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let tmean = template.iter().sum::<f64>() / template.len() as f64;
+    let tc: Vec<f64> = template.iter().map(|&t| t - tmean).collect();
+    let tnorm = tc.iter().map(|&t| t * t).sum::<f64>().sqrt();
+    let n = template.len();
+    let mut out = Vec::with_capacity(signal.len() - n + 1);
+    for lag in 0..=(signal.len() - n) {
+        let win = &signal[lag..lag + n];
+        let wmean = win.iter().sum::<f64>() / n as f64;
+        let mut dot = 0.0;
+        let mut wnorm = 0.0;
+        for (w, t) in win.iter().zip(&tc) {
+            let wc = w - wmean;
+            dot += wc * t;
+            wnorm += wc * wc;
+        }
+        let denom = tnorm * wnorm.sqrt();
+        out.push(if denom > 0.0 { dot / denom } else { 0.0 });
+    }
+    out
+}
+
+/// Finds the lag of the strongest *absolute* correlation and its signed
+/// value.
+///
+/// The sign matters for OTAM: a blocked LoS inverts the envelope, so the
+/// preamble correlates *negatively*. The sync stage therefore reports the
+/// polarity along with the offset.
+pub fn sync(signal: &[f64], template: &[f64]) -> Option<SyncResult> {
+    let xc = normalized_xcorr(signal, template);
+    let (lag, &val) = xc
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("NaN in xcorr"))?;
+    Some(SyncResult {
+        offset: lag,
+        correlation: val,
+        inverted: val < 0.0,
+    })
+}
+
+/// Result of preamble synchronization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncResult {
+    /// Sample offset of the template within the signal.
+    pub offset: usize,
+    /// Signed normalized correlation at the peak, in `[-1, 1]`.
+    pub correlation: f64,
+    /// True when the envelope polarity is inverted (LoS-blocked regime).
+    pub inverted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> Vec<f64> {
+        // Envelope of preamble bits 1,0,1,1,0,0,1,0 at 4 samples/bit.
+        let bits = [1.0, 0.2, 1.0, 1.0, 0.2, 0.2, 1.0, 0.2];
+        bits.iter().flat_map(|&b| [b; 4]).collect()
+    }
+
+    #[test]
+    fn perfect_match_peaks_at_one() {
+        let t = template();
+        let mut sig = vec![0.6; 20];
+        sig.extend_from_slice(&t);
+        sig.extend(vec![0.6; 20]);
+        let r = sync(&sig, &t).expect("sync");
+        assert_eq!(r.offset, 20);
+        assert!((r.correlation - 1.0).abs() < 1e-12);
+        assert!(!r.inverted);
+    }
+
+    #[test]
+    fn scaling_does_not_change_peak() {
+        let t = template();
+        let mut sig = vec![0.06; 8];
+        sig.extend(t.iter().map(|&x| x * 0.1)); // 20 dB weaker
+        sig.extend(vec![0.06; 8]);
+        let r = sync(&sig, &t).expect("sync");
+        assert_eq!(r.offset, 8);
+        assert!((r.correlation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_envelope_detected() {
+        let t = template();
+        // Invert around the midpoint 0.6: strong<->weak (blocked LoS).
+        let inv: Vec<f64> = t.iter().map(|&x| 1.2 - x).collect();
+        let mut sig = vec![0.6; 12];
+        sig.extend_from_slice(&inv);
+        sig.extend(vec![0.6; 12]);
+        let r = sync(&sig, &t).expect("sync");
+        assert_eq!(r.offset, 12);
+        assert!(r.inverted);
+        assert!(r.correlation < -0.99);
+    }
+
+    #[test]
+    fn survives_moderate_noise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = template();
+        let mut sig = vec![0.6; 30];
+        sig.extend_from_slice(&t);
+        sig.extend(vec![0.6; 30]);
+        for s in &mut sig {
+            *s += rng.gen_range(-0.1..0.1);
+        }
+        let r = sync(&sig, &t).expect("sync");
+        assert_eq!(r.offset, 30);
+        assert!(r.correlation > 0.8);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nothing() {
+        assert!(normalized_xcorr(&[], &[1.0]).is_empty());
+        assert!(normalized_xcorr(&[1.0], &[]).is_empty());
+        assert!(normalized_xcorr(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(sync(&[1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn flat_window_gives_zero_not_nan() {
+        let t = template();
+        let sig = vec![0.5; t.len() + 10];
+        let xc = normalized_xcorr(&sig, &t);
+        assert!(xc.iter().all(|v| v.is_finite() && *v == 0.0));
+    }
+
+    #[test]
+    fn output_length_formula() {
+        let xc = normalized_xcorr(&vec![0.0; 100], &[1.0, 0.0, 1.0]);
+        assert_eq!(xc.len(), 98);
+    }
+}

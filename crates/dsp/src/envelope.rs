@@ -1,0 +1,224 @@
+//! Envelope extraction for ASK demodulation.
+//!
+//! OTAM turns the channel itself into an amplitude modulator, so the AP's
+//! primary decision variable is the received envelope. This module extracts
+//! per-symbol envelope statistics from a complex baseband buffer.
+
+use crate::complex::Complex;
+
+/// Extracts the instantaneous magnitude of every sample.
+pub fn magnitude(x: &[Complex]) -> Vec<f64> {
+    x.iter().map(|s| s.abs()).collect()
+}
+
+/// Smooths a magnitude sequence with a moving-average of length `win`
+/// (a simple model of the analog envelope detector's RC time constant).
+pub fn smooth(env: &[f64], win: usize) -> Vec<f64> {
+    if win <= 1 || env.is_empty() {
+        return env.to_vec();
+    }
+    let win = win.min(env.len());
+    let mut out = Vec::with_capacity(env.len());
+    let mut acc: f64 = env[..win].iter().sum();
+    // Center the window; pre-fill the leading edge with the first average.
+    let lead = win / 2;
+    for _ in 0..lead {
+        out.push(acc / win as f64);
+    }
+    out.push(acc / win as f64);
+    for i in win..env.len() {
+        acc += env[i] - env[i - win];
+        out.push(acc / win as f64);
+    }
+    // Pad the trailing edge.
+    while out.len() < env.len() {
+        out.push(*out.last().expect("non-empty"));
+    }
+    out.truncate(env.len());
+    out
+}
+
+/// Mean envelope of each symbol, given `samples_per_symbol`.
+///
+/// The trailing partial symbol (if any) is dropped — a real receiver only
+/// decodes complete symbols.
+pub fn per_symbol_mean(env: &[f64], samples_per_symbol: usize) -> Vec<f64> {
+    assert!(samples_per_symbol > 0, "samples_per_symbol must be > 0");
+    env.chunks_exact(samples_per_symbol)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// A two-level slicer with a threshold learned from observed levels.
+///
+/// mmX's preamble lets the AP learn which envelope level means `1`:
+/// [`Slicer::learn`] clusters the preamble's symbol envelopes into two
+/// levels and places the threshold midway (in amplitude).
+#[derive(Debug, Clone, Copy)]
+pub struct Slicer {
+    /// Decision threshold on the envelope.
+    pub threshold: f64,
+    /// Envelope level associated with bit `1`.
+    pub high: f64,
+    /// Envelope level associated with bit `0`.
+    pub low: f64,
+}
+
+impl Slicer {
+    /// Learns the two levels from preamble symbol envelopes given the known
+    /// preamble bits. Returns `None` when the preamble is empty or contains
+    /// only one bit value.
+    ///
+    /// Note the OTAM polarity subtlety (paper §6.1): when the LoS path is
+    /// blocked, the beam that used to be the strong one becomes the weak
+    /// one and *all bits invert*. Learning levels from known preamble bits
+    /// resolves the polarity automatically — `high` is simply "the level
+    /// the channel assigns to a transmitted 1", even if it is numerically
+    /// smaller than `low`.
+    pub fn learn(preamble_env: &[f64], preamble_bits: &[bool]) -> Option<Slicer> {
+        if preamble_env.is_empty() || preamble_env.len() != preamble_bits.len() {
+            return None;
+        }
+        let mut sum1 = 0.0;
+        let mut n1 = 0usize;
+        let mut sum0 = 0.0;
+        let mut n0 = 0usize;
+        for (&e, &b) in preamble_env.iter().zip(preamble_bits) {
+            if b {
+                sum1 += e;
+                n1 += 1;
+            } else {
+                sum0 += e;
+                n0 += 1;
+            }
+        }
+        if n1 == 0 || n0 == 0 {
+            return None;
+        }
+        let high = sum1 / n1 as f64;
+        let low = sum0 / n0 as f64;
+        Some(Slicer {
+            threshold: (high + low) / 2.0,
+            high,
+            low,
+        })
+    }
+
+    /// True when the two learned levels are too close for a reliable ASK
+    /// decision; the joint demodulator falls back to FSK in this case
+    /// (paper §6.3, Fig. 9b).
+    ///
+    /// `min_separation` is a linear amplitude ratio (e.g. 1.26 ≈ 2 dB).
+    pub fn is_ambiguous(&self, min_separation: f64) -> bool {
+        let (hi, lo) = if self.high >= self.low {
+            (self.high, self.low)
+        } else {
+            (self.low, self.high)
+        };
+        lo <= 0.0 || hi / lo < min_separation
+    }
+
+    /// Slices one symbol envelope to a bit, honoring learned polarity.
+    pub fn decide(&self, env: f64) -> bool {
+        if self.high >= self.low {
+            env > self.threshold
+        } else {
+            env < self.threshold
+        }
+    }
+
+    /// Slices a sequence of symbol envelopes.
+    pub fn decide_all(&self, env: &[f64]) -> Vec<bool> {
+        env.iter().map(|&e| self.decide(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_of_tone_is_flat() {
+        let x: Vec<Complex> = (0..100).map(|n| Complex::cis(0.3 * n as f64)).collect();
+        let env = magnitude(&x);
+        assert!(env.iter().all(|&e| (e - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smooth_preserves_dc() {
+        let env = vec![2.0; 50];
+        let sm = smooth(&env, 8);
+        assert_eq!(sm.len(), 50);
+        assert!(sm.iter().all(|&e| (e - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smooth_attenuates_impulse() {
+        let mut env = vec![0.0; 41];
+        env[20] = 10.0;
+        let sm = smooth(&env, 10);
+        assert!(sm.iter().cloned().fold(0.0, f64::max) < 1.5);
+    }
+
+    #[test]
+    fn smooth_window_of_one_is_identity() {
+        let env = vec![1.0, 5.0, 2.0];
+        assert_eq!(smooth(&env, 1), env);
+    }
+
+    #[test]
+    fn per_symbol_mean_drops_partial_tail() {
+        let env = vec![1.0; 10];
+        let m = per_symbol_mean(&env, 4);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn slicer_learns_normal_polarity() {
+        // Preamble 1,0,1,0 with high=1.0, low=0.2.
+        let env = [1.0, 0.2, 1.0, 0.2];
+        let bits = [true, false, true, false];
+        let s = Slicer::learn(&env, &bits).expect("slicer");
+        assert!((s.threshold - 0.6).abs() < 1e-12);
+        assert!(s.decide(0.9));
+        assert!(!s.decide(0.3));
+    }
+
+    #[test]
+    fn slicer_learns_inverted_polarity() {
+        // LoS blocked: transmitted 1 arrives *weaker* than transmitted 0.
+        let env = [0.2, 1.0, 0.2, 1.0];
+        let bits = [true, false, true, false];
+        let s = Slicer::learn(&env, &bits).expect("slicer");
+        // decide() must still map weak -> 1.
+        assert!(s.decide(0.15));
+        assert!(!s.decide(0.95));
+    }
+
+    #[test]
+    fn slicer_flags_ambiguity() {
+        let env = [0.52, 0.5, 0.52, 0.5];
+        let bits = [true, false, true, false];
+        let s = Slicer::learn(&env, &bits).expect("slicer");
+        assert!(s.is_ambiguous(1.26)); // levels within 2 dB
+        let env2 = [1.0, 0.2, 1.0, 0.2];
+        let s2 = Slicer::learn(&env2, &bits).expect("slicer");
+        assert!(!s2.is_ambiguous(1.26));
+    }
+
+    #[test]
+    fn slicer_rejects_degenerate_preambles() {
+        assert!(Slicer::learn(&[], &[]).is_none());
+        assert!(Slicer::learn(&[1.0, 1.0], &[true, true]).is_none());
+        assert!(Slicer::learn(&[1.0], &[true, false]).is_none());
+    }
+
+    #[test]
+    fn decide_all_maps_sequence() {
+        let env = [1.0, 0.2, 1.0, 0.2];
+        let bits = [true, false, true, false];
+        let s = Slicer::learn(&env, &bits).expect("slicer");
+        assert_eq!(s.decide_all(&[0.9, 0.1, 0.8]), vec![true, false, true]);
+    }
+}

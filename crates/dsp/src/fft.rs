@@ -1,0 +1,226 @@
+//! Iterative radix-2 FFT.
+//!
+//! Used by the FSK discriminator (to separate the Beam-0 and Beam-1 carrier
+//! offsets), the TMA harmonic analysis, and the spectrum plots in the
+//! evaluation harness. For non-power-of-two lengths callers should zero-pad
+//! with [`next_pow2`].
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT. Panics unless `x.len()` is a power of two.
+///
+/// Uses the standard bit-reversal permutation followed by iterative
+/// Cooley–Tukey butterflies. No scaling is applied (matching the usual
+/// convention; [`ifft`] applies `1/N`).
+pub fn fft(x: &mut [Complex]) {
+    fft_dir(x, false);
+}
+
+/// In-place inverse FFT with `1/N` normalization. Panics unless the length
+/// is a power of two.
+pub fn ifft(x: &mut [Complex]) {
+    fft_dir(x, true);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+fn fft_dir(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in x.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a borrowed slice, zero-padded to the next power of two.
+pub fn fft_padded(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    buf.resize(next_pow2(x.len()), Complex::ZERO);
+    fft(&mut buf);
+    buf
+}
+
+/// Power spectrum `|X[k]|²/N` of a signal (zero-padded to a power of two).
+pub fn power_spectrum(x: &[Complex]) -> Vec<f64> {
+    let spec = fft_padded(x);
+    let n = spec.len() as f64;
+    spec.iter().map(|c| c.norm_sq() / n).collect()
+}
+
+/// The frequency (in cycles/sample, range `[-0.5, 0.5)`) of FFT bin `k` for
+/// an `n`-point transform.
+pub fn bin_frequency(k: usize, n: usize) -> f64 {
+    let k = k % n;
+    if k < n / 2 {
+        k as f64 / n as f64
+    } else {
+        k as f64 / n as f64 - 1.0
+    }
+}
+
+/// Index of the strongest bin of a power spectrum.
+pub fn peak_bin(power: &[f64]) -> usize {
+    power
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in spectrum"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::IqBuffer;
+    use mmx_units::Hertz;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let mut x = vec![Complex::ONE; 8];
+        fft(&mut x);
+        close(x[0].re, 8.0, 1e-12);
+        for v in &x[1..] {
+            close(v.abs(), 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            close(v.abs(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        close(x[k0].abs(), n as f64, 1e-9);
+        for (k, v) in x.iter().enumerate() {
+            if k != k0 {
+                close(v.abs(), 0.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let orig: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let orig: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let time_energy: f64 = orig.iter().map(|c| c.norm_sq()).sum();
+        let mut x = orig.clone();
+        fft(&mut x);
+        let freq_energy: f64 = x.iter().map(|c| c.norm_sq()).sum::<f64>() / x.len() as f64;
+        close(time_energy, freq_energy, 1e-8);
+    }
+
+    #[test]
+    fn bin_frequency_wraps_negative() {
+        close(bin_frequency(0, 8), 0.0, 1e-15);
+        close(bin_frequency(1, 8), 0.125, 1e-15);
+        close(bin_frequency(4, 8), -0.5, 1e-15);
+        close(bin_frequency(7, 8), -0.125, 1e-15);
+    }
+
+    #[test]
+    fn peak_bin_finds_tone() {
+        let buf = IqBuffer::tone(1.0, Hertz::from_mhz(2.0), 1024, Hertz::from_mhz(16.0));
+        let p = power_spectrum(buf.samples());
+        let k = peak_bin(&p);
+        // 2 MHz / 16 MHz = 0.125 cycles/sample -> bin 128 of 1024.
+        assert_eq!(k, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..16).map(|i| Complex::real(i as f64)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let mut sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft(&mut sum);
+        fft(&mut fa);
+        fft(&mut fb);
+        for k in 0..16 {
+            assert!((sum[k] - (fa[k] + fb[k])).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Goertzel single-bin tone energy detection.
+//!
+//! The FSK half of mmX's joint ASK–FSK demodulator only needs the energy at
+//! *two* known tone frequencies per symbol (the Beam-0 and Beam-1 carrier
+//! offsets). Computing two Goertzel bins per symbol is far cheaper than a
+//! full FFT and is what a low-cost baseband processor would actually run.
+
+use crate::complex::Complex;
+use mmx_units::Hertz;
+
+/// A Goertzel detector for a single tone frequency at a fixed sample rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Goertzel {
+    /// Normalized radian frequency of the target tone (rad/sample).
+    omega: f64,
+}
+
+impl Goertzel {
+    /// Creates a detector for `tone` at `sample_rate`.
+    ///
+    /// The tone may be negative (complex baseband has a two-sided
+    /// spectrum).
+    pub fn new(tone: Hertz, sample_rate: Hertz) -> Self {
+        assert!(sample_rate.hz() > 0.0, "sample rate must be positive");
+        Goertzel {
+            omega: 2.0 * std::f64::consts::PI * tone.hz() / sample_rate.hz(),
+        }
+    }
+
+    /// The complex correlation of `x` against the target tone:
+    /// `sum_n x[n]·e^(-jωn)`.
+    ///
+    /// For complex input we evaluate the correlation directly (the classic
+    /// two-multiplier Goertzel recurrence assumes real input; the direct
+    /// form is just as cheap for our block sizes and has no state).
+    pub fn correlate(&self, x: &[Complex]) -> Complex {
+        let mut acc = Complex::ZERO;
+        let mut phase = Complex::ONE;
+        let step = Complex::cis(-self.omega);
+        for &s in x {
+            acc += s * phase;
+            phase *= step;
+        }
+        acc
+    }
+
+    /// Tone energy `|correlate(x)|² / N` — comparable across detectors run
+    /// over the same block.
+    pub fn energy(&self, x: &[Complex]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        self.correlate(x).norm_sq() / x.len() as f64
+    }
+}
+
+/// Compares the energies of two candidate tones over one symbol and returns
+/// `true` when `tone1` is the stronger — i.e. the FSK bit decision.
+pub fn binary_fsk_decision(x: &[Complex], tone0: &Goertzel, tone1: &Goertzel) -> bool {
+    tone1.energy(x) > tone0.energy(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::IqBuffer;
+
+    fn rate() -> Hertz {
+        Hertz::from_mhz(25.0)
+    }
+
+    #[test]
+    fn detects_matching_tone() {
+        let f = Hertz::from_mhz(2.0);
+        let buf = IqBuffer::tone(1.0, f, 250, rate());
+        let g = Goertzel::new(f, rate());
+        // Perfectly matched tone: energy = N·amp² / ... = N here.
+        let e = g.energy(buf.samples());
+        assert!((e - 250.0).abs() < 1e-6, "e = {e}");
+    }
+
+    #[test]
+    fn rejects_orthogonal_tone() {
+        // Tones separated by k/N cycles are orthogonal over the block.
+        let n = 250;
+        let f_sig = Hertz::from_mhz(2.0);
+        let f_other = Hertz::from_mhz(2.1); // 0.1 MHz apart = 1 cycle over 250 samples at 25 MHz
+        let buf = IqBuffer::tone(1.0, f_sig, n, rate());
+        let g = Goertzel::new(f_other, rate());
+        assert!(g.energy(buf.samples()) < 1e-6);
+    }
+
+    #[test]
+    fn negative_frequency_tones() {
+        let f = Hertz::from_mhz(-3.0);
+        let buf = IqBuffer::tone(1.0, f, 100, rate());
+        let g = Goertzel::new(f, rate());
+        assert!(g.energy(buf.samples()) > 99.0);
+        let g_pos = Goertzel::new(Hertz::from_mhz(3.0), rate());
+        assert!(g_pos.energy(buf.samples()) < 1.0);
+    }
+
+    #[test]
+    fn fsk_decision_picks_stronger_tone() {
+        let f0 = Hertz::from_mhz(1.0);
+        let f1 = Hertz::from_mhz(2.0);
+        let g0 = Goertzel::new(f0, rate());
+        let g1 = Goertzel::new(f1, rate());
+        let bit1 = IqBuffer::tone(1.0, f1, 250, rate());
+        let bit0 = IqBuffer::tone(1.0, f0, 250, rate());
+        assert!(binary_fsk_decision(bit1.samples(), &g0, &g1));
+        assert!(!binary_fsk_decision(bit0.samples(), &g0, &g1));
+    }
+
+    #[test]
+    fn decision_robust_to_amplitude_asymmetry() {
+        // Even a much weaker tone at f1 must win if f0 is absent.
+        let f0 = Hertz::from_mhz(1.0);
+        let f1 = Hertz::from_mhz(2.0);
+        let g0 = Goertzel::new(f0, rate());
+        let g1 = Goertzel::new(f1, rate());
+        let weak1 = IqBuffer::tone(0.05, f1, 250, rate());
+        assert!(binary_fsk_decision(weak1.samples(), &g0, &g1));
+    }
+
+    #[test]
+    fn empty_block_has_zero_energy() {
+        let g = Goertzel::new(Hertz::from_mhz(1.0), rate());
+        assert_eq!(g.energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn matches_fft_bin_energy() {
+        // Goertzel at bin frequency k/N must equal |FFT[k]|²/N.
+        let n = 256;
+        let buf = IqBuffer::tone(0.7, Hertz::from_mhz(2.0), n, Hertz::from_mhz(16.0));
+        let spec = crate::fft::fft_padded(buf.samples());
+        // 2/16 cycles/sample => bin 32 of 256.
+        let k = 32;
+        let g = Goertzel::new(Hertz::from_mhz(2.0), Hertz::from_mhz(16.0));
+        let ge = g.energy(buf.samples());
+        let fe = spec[k].norm_sq() / n as f64;
+        assert!((ge - fe).abs() < 1e-6, "{ge} vs {fe}");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # mmx-dsp
+//!
+//! Complex-baseband DSP substrate for the mmX reproduction.
+//!
+//! The paper's access point digitizes a down-converted 24 GHz signal with a
+//! USRP N210 and decodes it in software. This crate is that software: a
+//! small, dependency-free DSP toolbox operating on complex baseband
+//! samples. It provides exactly the blocks the mmX receive chain needs —
+//! nothing speculative:
+//!
+//! * [`Complex`] — a minimal complex number type (we deliberately avoid an
+//!   external dependency; the operations used by the stack fit in one
+//!   file).
+//! * [`signal::IqBuffer`] — a sample-rate-tagged buffer of IQ samples.
+//! * [`fft`] — an iterative radix-2 FFT used by the FSK discriminator and
+//!   the TMA harmonic analysis.
+//! * [`goertzel`] — single-bin tone detection, the cheap way to compare the
+//!   two FSK tone energies per symbol.
+//! * [`envelope`] — magnitude envelope extraction for ASK demodulation.
+//! * [`fir`] / [`window`] — filtering for the channelizer.
+//! * [`correlate`] — preamble synchronization.
+//! * [`stats`] — CDFs, percentiles and summaries for the evaluation
+//!   harness (Figs. 10–13 are all statistics over Monte-Carlo runs).
+//! * [`prbs`] — deterministic pseudo-random bit generators for payloads.
+//! * [`awgn`] — calibrated complex white Gaussian noise.
+//! * [`agc`] — simple automatic gain control for the receive path.
+
+pub mod agc;
+pub mod awgn;
+pub mod channelizer;
+pub mod complex;
+pub mod correlate;
+pub mod envelope;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod prbs;
+pub mod signal;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;
+pub use signal::IqBuffer;

@@ -1,0 +1,129 @@
+//! Pseudo-random binary sequences.
+//!
+//! Payload generators for BER measurements. LFSR-based PRBS patterns are
+//! the standard test stimulus for link characterization: deterministic,
+//! balanced, and with known run-length properties.
+
+/// A Fibonacci LFSR implementing the ITU-T PRBS families.
+#[derive(Debug, Clone)]
+pub struct Prbs {
+    state: u32,
+    taps: (u32, u32),
+    mask: u32,
+}
+
+impl Prbs {
+    /// PRBS7 (`x^7 + x^6 + 1`), period 127.
+    pub fn prbs7(seed: u32) -> Self {
+        Self::new(7, (7, 6), seed)
+    }
+
+    /// PRBS9 (`x^9 + x^5 + 1`), period 511.
+    pub fn prbs9(seed: u32) -> Self {
+        Self::new(9, (9, 5), seed)
+    }
+
+    /// PRBS15 (`x^15 + x^14 + 1`), period 32767.
+    pub fn prbs15(seed: u32) -> Self {
+        Self::new(15, (15, 14), seed)
+    }
+
+    fn new(order: u32, taps: (u32, u32), seed: u32) -> Self {
+        let mask = (1u32 << order) - 1;
+        let state = seed & mask;
+        Prbs {
+            // The all-zero state is degenerate; nudge it to all-ones.
+            state: if state == 0 { mask } else { state },
+            taps,
+            mask,
+        }
+    }
+
+    /// Generates the next bit.
+    pub fn next_bit(&mut self) -> bool {
+        let b = ((self.state >> (self.taps.0 - 1)) ^ (self.state >> (self.taps.1 - 1))) & 1;
+        self.state = ((self.state << 1) | b) & self.mask;
+        b == 1
+    }
+
+    /// Generates `n` bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Generates `n` bytes (MSB-first packing).
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n)
+            .map(|_| {
+                let mut byte = 0u8;
+                for _ in 0..8 {
+                    byte = (byte << 1) | self.next_bit() as u8;
+                }
+                byte
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prbs7_has_period_127() {
+        let mut p = Prbs::prbs7(1);
+        let first = p.bits(127);
+        let second = p.bits(127);
+        assert_eq!(first, second);
+        // ... and no shorter period.
+        assert_ne!(first[..63], first[64..127]);
+    }
+
+    #[test]
+    fn prbs9_has_period_511() {
+        let mut p = Prbs::prbs9(0x1AB);
+        let first = p.bits(511);
+        let second = p.bits(511);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn prbs15_is_balanced() {
+        let mut p = Prbs::prbs15(1);
+        let bits = p.bits(32767);
+        let ones = bits.iter().filter(|&&b| b).count();
+        // Maximal-length LFSR: 2^(n-1) ones, 2^(n-1)-1 zeros.
+        assert_eq!(ones, 16384);
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut p = Prbs::prbs7(0);
+        // Must not get stuck emitting zeros.
+        assert!(p.bits(20).iter().any(|&b| b));
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = Prbs::prbs9(42).bits(100);
+        let b = Prbs::prbs9(42).bits(100);
+        assert_eq!(a, b);
+        let c = Prbs::prbs9(43).bits(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bytes_pack_msb_first() {
+        let mut by_bits = Prbs::prbs7(1);
+        let bits = by_bits.bits(16);
+        let mut by_bytes = Prbs::prbs7(1);
+        let bytes = by_bytes.bytes(2);
+        for (i, byte) in bytes.iter().enumerate() {
+            for j in 0..8 {
+                let want = bits[i * 8 + j];
+                let got = (byte >> (7 - j)) & 1 == 1;
+                assert_eq!(want, got);
+            }
+        }
+    }
+}

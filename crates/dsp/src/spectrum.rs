@@ -1,0 +1,210 @@
+//! Welch power-spectral-density estimation.
+//!
+//! The evaluation harness needs calibrated spectra: the TMA's harmonic
+//! hash (Fig. 6) and the FDM band occupancy are both frequency-domain
+//! claims. Welch's method (averaged windowed periodograms) gives a
+//! low-variance estimate with known scaling.
+
+use crate::complex::Complex;
+use crate::fft::fft;
+use crate::signal::IqBuffer;
+use crate::window::Window;
+use mmx_units::Hertz;
+
+/// A Welch PSD estimate.
+#[derive(Debug, Clone)]
+pub struct Psd {
+    freqs: Vec<Hertz>,
+    /// Power density per bin (linear power / Hz).
+    density: Vec<f64>,
+    bin_width: Hertz,
+}
+
+impl Psd {
+    /// Estimates the PSD of `buf` with `segment_len` samples per segment
+    /// (power of two), 50% overlap, Hann windowing.
+    pub fn welch(buf: &IqBuffer, segment_len: usize) -> Self {
+        assert!(
+            segment_len.is_power_of_two() && segment_len >= 8,
+            "segment length must be a power of two ≥ 8"
+        );
+        assert!(buf.len() >= segment_len, "buffer shorter than one segment");
+        let fs = buf.sample_rate().hz();
+        let window = Window::Hann.generate(segment_len);
+        let win_power: f64 = window.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
+        let hop = segment_len / 2;
+        let mut acc = vec![0.0f64; segment_len];
+        let mut segments = 0usize;
+        let samples = buf.samples();
+        let mut start = 0;
+        while start + segment_len <= samples.len() {
+            let mut seg: Vec<Complex> = samples[start..start + segment_len]
+                .iter()
+                .zip(&window)
+                .map(|(s, w)| s.scale(*w))
+                .collect();
+            fft(&mut seg);
+            for (a, c) in acc.iter_mut().zip(&seg) {
+                *a += c.norm_sq();
+            }
+            segments += 1;
+            start += hop;
+        }
+        // Scale: |X[k]|² / (fs · N · win_power), averaged over segments.
+        let scale = 1.0 / (fs * segment_len as f64 * win_power * segments as f64);
+        // Reorder to ascending frequency (negative half first).
+        let n = segment_len;
+        let half = n / 2;
+        let mut density = Vec::with_capacity(n);
+        let mut freqs = Vec::with_capacity(n);
+        for k in 0..n {
+            let idx = (k + half) % n; // start at −fs/2
+            density.push(acc[idx] * scale);
+            let f = if idx < half {
+                idx as f64
+            } else {
+                idx as f64 - n as f64
+            } * fs
+                / n as f64;
+            freqs.push(Hertz::new(f));
+        }
+        Psd {
+            freqs,
+            density,
+            bin_width: Hertz::new(fs / n as f64),
+        }
+    }
+
+    /// Frequency axis (ascending, −fs/2 … +fs/2).
+    pub fn freqs(&self) -> &[Hertz] {
+        &self.freqs
+    }
+
+    /// Power density per bin (linear, power/Hz).
+    pub fn density(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> Hertz {
+        self.bin_width
+    }
+
+    /// Total power integrated over the whole spectrum.
+    pub fn total_power(&self) -> f64 {
+        self.density.iter().sum::<f64>() * self.bin_width.hz()
+    }
+
+    /// Power integrated over `[low, high]`.
+    pub fn band_power(&self, low: Hertz, high: Hertz) -> f64 {
+        self.freqs
+            .iter()
+            .zip(&self.density)
+            .filter(|(f, _)| f.hz() >= low.hz() && f.hz() <= high.hz())
+            .map(|(_, d)| d)
+            .sum::<f64>()
+            * self.bin_width.hz()
+    }
+
+    /// The frequency of the strongest bin.
+    pub fn peak_freq(&self) -> Hertz {
+        let (i, _) = self
+            .density
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite density"))
+            .expect("non-empty");
+        self.freqs[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Hertz {
+        Hertz::from_mhz(16.0)
+    }
+
+    #[test]
+    fn tone_power_is_recovered() {
+        let buf = IqBuffer::tone(1.0, Hertz::from_mhz(2.0), 16_384, fs());
+        let psd = Psd::welch(&buf, 1024);
+        // Unit-amplitude complex tone: total power 1.0.
+        assert!(
+            (psd.total_power() - 1.0).abs() < 0.02,
+            "{}",
+            psd.total_power()
+        );
+        // ... concentrated at +2 MHz.
+        let peak = psd.peak_freq();
+        assert!((peak.mhz() - 2.0).abs() < 0.05, "peak at {peak}");
+        let in_band = psd.band_power(Hertz::from_mhz(1.8), Hertz::from_mhz(2.2));
+        assert!(in_band > 0.95);
+    }
+
+    #[test]
+    fn negative_frequency_resolved() {
+        let buf = IqBuffer::tone(0.5, Hertz::from_mhz(-3.0), 8192, fs());
+        let psd = Psd::welch(&buf, 512);
+        assert!((psd.peak_freq().mhz() + 3.0).abs() < 0.1);
+        assert!((psd.total_power() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn two_tones_both_visible() {
+        let mut buf = IqBuffer::tone(1.0, Hertz::from_mhz(2.0), 16_384, fs());
+        buf.mix_in(&IqBuffer::tone(0.5, Hertz::from_mhz(-5.0), 16_384, fs()));
+        let psd = Psd::welch(&buf, 1024);
+        let p1 = psd.band_power(Hertz::from_mhz(1.5), Hertz::from_mhz(2.5));
+        let p2 = psd.band_power(Hertz::from_mhz(-5.5), Hertz::from_mhz(-4.5));
+        assert!((p1 - 1.0).abs() < 0.05, "p1 = {p1}");
+        assert!((p2 - 0.25).abs() < 0.02, "p2 = {p2}");
+    }
+
+    #[test]
+    fn white_noise_is_flat() {
+        use crate::awgn::AwgnSource;
+        use rand::SeedableRng;
+        let mut buf = IqBuffer::zeros(65_536, fs());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        AwgnSource::with_power(1.0).add_to(&mut buf, &mut rng);
+        let psd = Psd::welch(&buf, 256);
+        // Density ≈ 1.0/fs everywhere; check a few bands.
+        let expect = 1.0 / fs().hz();
+        for (lo, hi) in [(-6.0, -4.0), (-1.0, 1.0), (4.0, 6.0)] {
+            let p = psd.band_power(Hertz::from_mhz(lo), Hertz::from_mhz(hi));
+            let width = (hi - lo) * 1e6;
+            assert!(
+                (p / (expect * width) - 1.0).abs() < 0.15,
+                "band ({lo},{hi}): {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_axis_ascending_and_centered() {
+        let buf = IqBuffer::zeros(2048, fs());
+        let psd = Psd::welch(&buf, 256);
+        assert_eq!(psd.freqs().len(), 256);
+        for w in psd.freqs().windows(2) {
+            assert!(w[1].hz() > w[0].hz());
+        }
+        assert!((psd.freqs()[0].hz() + fs().hz() / 2.0).abs() < 1.0);
+        assert!((psd.bin_width().hz() - fs().hz() / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_segment_rejected() {
+        let buf = IqBuffer::zeros(2048, fs());
+        let _ = Psd::welch(&buf, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn short_buffer_rejected() {
+        let buf = IqBuffer::zeros(100, fs());
+        let _ = Psd::welch(&buf, 256);
+    }
+}

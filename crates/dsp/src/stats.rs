@@ -1,0 +1,257 @@
+//! Descriptive statistics for the evaluation harness.
+//!
+//! Figures 10–13 of the paper are all statistics over repeated
+//! measurements: SNR maps, BER CDFs, medians and percentiles. This module
+//! implements those summaries once, with careful handling of empty input.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance; `None` with fewer than two points.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
+/// statistics; `None` for empty input or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Minimum; `None` for empty input.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().cloned().reduce(f64::min)
+}
+
+/// Maximum; `None` for empty input.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().cloned().reduce(f64::max)
+}
+
+/// An empirical cumulative distribution function.
+///
+/// `Ecdf::points()` yields the `(x, F(x))` step points used to plot the
+/// BER CDFs of Fig. 11.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample. Panics on NaN values.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(
+            xs.iter().all(|x| !x.is_nan()),
+            "ECDF input must not contain NaN"
+        );
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("checked above"));
+        Ecdf { sorted: xs }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse ECDF: the smallest sample with `F >= p`.
+    pub fn inverse(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        if p == 0.0 {
+            return Some(self.sorted[0]);
+        }
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    /// The step points `(x_i, i/n)` for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// A streaming mean/variance accumulator (Welford's algorithm) — used by
+/// long Monte-Carlo sweeps that should not hold every sample in memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean; `None` before any sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Current unbiased variance; `None` before two samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        close(mean(&xs).unwrap(), 5.0, 1e-12);
+        close(variance(&xs).unwrap(), 32.0 / 7.0, 1e-12);
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        close(quantile(&xs, 0.0).unwrap(), 1.0, 1e-12);
+        close(quantile(&xs, 1.0).unwrap(), 4.0, 1e-12);
+        close(quantile(&xs, 0.5).unwrap(), 2.5, 1e-12);
+        close(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0, 1e-12);
+        assert!(quantile(&xs, 1.5).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.0];
+        close(min(&xs).unwrap(), -1.0, 1e-15);
+        close(max(&xs).unwrap(), 7.0, 1e-15);
+        assert!(min(&[]).is_none());
+    }
+
+    #[test]
+    fn ecdf_eval_steps() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        close(e.eval(0.5), 0.0, 1e-12);
+        close(e.eval(1.0), 0.25, 1e-12);
+        close(e.eval(2.5), 0.5, 1e-12);
+        close(e.eval(10.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn ecdf_inverse_matches_order_stats() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        close(e.inverse(0.25).unwrap(), 10.0, 1e-12);
+        close(e.inverse(0.5).unwrap(), 20.0, 1e-12);
+        close(e.inverse(0.9).unwrap(), 40.0, 1e-12);
+        close(e.inverse(0.0).unwrap(), 10.0, 1e-12);
+        assert!(e.inverse(1.1).is_none());
+    }
+
+    #[test]
+    fn ecdf_points_are_monotone() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 3);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+        close(pts.last().unwrap().1, 1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ecdf_rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        close(r.mean().unwrap(), mean(&xs).unwrap(), 1e-12);
+        close(r.variance().unwrap(), variance(&xs).unwrap(), 1e-12);
+        assert_eq!(r.count(), 8);
+    }
+
+    #[test]
+    fn running_empty_and_single() {
+        let mut r = Running::new();
+        assert!(r.mean().is_none());
+        r.push(5.0);
+        close(r.mean().unwrap(), 5.0, 1e-12);
+        assert!(r.variance().is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! Window functions for spectral analysis and FIR design.
+
+/// Window function families used by the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// No windowing (all ones).
+    Rectangular,
+    /// Hann window: good general-purpose sidelobe suppression (−31 dB).
+    Hann,
+    /// Hamming window: slightly narrower main lobe, −41 dB sidelobes.
+    Hamming,
+    /// Blackman window: wide main lobe, −58 dB sidelobes — used where
+    /// the TMA harmonic analysis must not leak between adjacent harmonics.
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at position `n` of an `len`-point window.
+    pub fn coeff(self, n: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+        }
+    }
+
+    /// Generates the full window as a vector.
+    pub fn generate(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.coeff(n, len)).collect()
+    }
+
+    /// Applies the window to a slice in place.
+    pub fn apply(self, x: &mut [crate::complex::Complex]) {
+        let len = x.len();
+        for (n, s) in x.iter_mut().enumerate() {
+            *s = s.scale(self.coeff(n, len));
+        }
+    }
+
+    /// Coherent gain of the window (mean coefficient) — needed to
+    /// de-bias amplitude estimates taken through a window.
+    pub fn coherent_gain(self, len: usize) -> f64 {
+        if len == 0 {
+            return 1.0;
+        }
+        self.generate(len).iter().sum::<f64>() / len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .generate(16)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let w = Window::Hann.generate(65);
+        close(w[0], 0.0, 1e-12);
+        close(w[64], 0.0, 1e-12);
+        close(w[32], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_at_008() {
+        let w = Window::Hamming.generate(65);
+        close(w[0], 0.08, 1e-12);
+        close(w[32], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn blackman_endpoints_near_zero() {
+        let w = Window::Blackman.generate(65);
+        close(w[0], 0.0, 1e-10);
+        close(w[32], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn all_windows_are_symmetric() {
+        for win in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            let w = win.generate(33);
+            for i in 0..w.len() {
+                close(w[i], w[w.len() - 1 - i], 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_gain_of_hann_is_half() {
+        // For large N the Hann coherent gain tends to 0.5.
+        close(Window::Hann.coherent_gain(4096), 0.5, 1e-3);
+        close(Window::Rectangular.coherent_gain(100), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(Window::Hann.coeff(0, 0), 1.0);
+        assert_eq!(Window::Hann.coeff(0, 1), 1.0);
+        assert_eq!(Window::Blackman.generate(1), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_scales_samples() {
+        use crate::complex::Complex;
+        let mut x = vec![Complex::ONE; 65];
+        Window::Hann.apply(&mut x);
+        close(x[0].abs(), 0.0, 1e-12);
+        close(x[32].abs(), 1.0, 1e-12);
+    }
+}

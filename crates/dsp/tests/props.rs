@@ -1,0 +1,140 @@
+//! Property-based tests for the DSP substrate.
+
+use mmx_dsp::complex::Complex;
+use mmx_dsp::envelope::{per_symbol_mean, Slicer};
+use mmx_dsp::fft::{fft, ifft};
+use mmx_dsp::goertzel::Goertzel;
+use mmx_dsp::signal::IqBuffer;
+use mmx_dsp::stats::{quantile, Ecdf};
+use mmx_units::Hertz;
+use proptest::prelude::*;
+
+fn arb_complex() -> impl Strategy<Value = Complex> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_commutes(a in arb_complex(), b in arb_complex()) {
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_abs_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn complex_div_inverts_mul(a in arb_complex(), b in arb_complex()) {
+        prop_assume!(b.abs() > 1e-3);
+        let back = (a * b) / b;
+        prop_assert!((back - a).abs() < 1e-8 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip(vals in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..200)) {
+        let orig: Vec<Complex> = vals.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        let mut padded = orig.clone();
+        padded.resize(mmx_dsp::fft::next_pow2(padded.len()), Complex::ZERO);
+        let reference = padded.clone();
+        fft(&mut padded);
+        ifft(&mut padded);
+        for (a, b) in padded.iter().zip(&reference) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(vals in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 64)) {
+        let x: Vec<Complex> = vals.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        let te: f64 = x.iter().map(|c| c.norm_sq()).sum();
+        let mut fx = x.clone();
+        fft(&mut fx);
+        let fe: f64 = fx.iter().map(|c| c.norm_sq()).sum::<f64>() / fx.len() as f64;
+        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+    }
+
+    #[test]
+    fn goertzel_energy_nonnegative_and_bounded(
+        amp in 0.0f64..5.0,
+        f_mhz in -10.0f64..10.0,
+        n in 16usize..512,
+    ) {
+        let fs = Hertz::from_mhz(25.0);
+        let buf = IqBuffer::tone(amp, Hertz::from_mhz(f_mhz), n, fs);
+        let g = Goertzel::new(Hertz::from_mhz(f_mhz), fs);
+        let e = g.energy(buf.samples());
+        prop_assert!(e >= 0.0);
+        // Matched tone energy is N·amp²; nothing can exceed it.
+        prop_assert!(e <= n as f64 * amp * amp * (1.0 + 1e-9) + 1e-12);
+    }
+
+    #[test]
+    fn tone_power_matches_amplitude(amp in 0.01f64..10.0, n in 10usize..300) {
+        let buf = IqBuffer::tone(amp, Hertz::from_mhz(1.0), n, Hertz::from_mhz(25.0));
+        prop_assert!((buf.mean_power() - amp * amp).abs() < 1e-9 * amp * amp);
+    }
+
+    #[test]
+    fn per_symbol_mean_of_constant_is_constant(level in 0.1f64..10.0, sps in 1usize..32, nsym in 1usize..20) {
+        let env = vec![level; sps * nsym];
+        let m = per_symbol_mean(&env, sps);
+        prop_assert_eq!(m.len(), nsym);
+        for v in m {
+            prop_assert!((v - level).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slicer_decides_training_levels_correctly(hi in 0.5f64..10.0, ratio in 1.5f64..20.0) {
+        let lo = hi / ratio;
+        let env = [hi, lo, hi, lo, hi, lo];
+        let bits = [true, false, true, false, true, false];
+        let s = Slicer::learn(&env, &bits).expect("learnable");
+        prop_assert!(s.decide(hi));
+        prop_assert!(!s.decide(lo));
+    }
+
+    #[test]
+    fn slicer_inverted_polarity_still_decodes(hi in 0.5f64..10.0, ratio in 1.5f64..20.0) {
+        let lo = hi / ratio;
+        // Transmitted 1 arrives weak (LoS blocked).
+        let env = [lo, hi, lo, hi];
+        let bits = [true, false, true, false];
+        let s = Slicer::learn(&env, &bits).expect("learnable");
+        prop_assert!(s.decide(lo));
+        prop_assert!(!s.decide(hi));
+    }
+
+    #[test]
+    fn ecdf_is_monotone(xs in prop::collection::vec(-100.0f64..100.0, 1..100)) {
+        let e = Ecdf::new(xs);
+        let mut prev = 0.0;
+        for x in [-200.0, -50.0, 0.0, 50.0, 200.0] {
+            let v = e.eval(x);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in prop::collection::vec(-100.0f64..100.0, 2..100)) {
+        let q25 = quantile(&xs, 0.25).unwrap();
+        let q50 = quantile(&xs, 0.50).unwrap();
+        let q75 = quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-12 && q50 <= q75 + 1e-12);
+    }
+
+    #[test]
+    fn frequency_shift_preserves_power(f1 in -5.0f64..5.0, f2 in -5.0f64..5.0) {
+        let mut buf = IqBuffer::tone(1.0, Hertz::from_mhz(f1), 256, Hertz::from_mhz(25.0));
+        let before = buf.mean_power();
+        buf.frequency_shift(Hertz::from_mhz(f2));
+        prop_assert!((buf.mean_power() - before).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! The access-point station model.
+
+use mmx_antenna::element::Element;
+use mmx_antenna::tma::Tma;
+use mmx_channel::response::Pose;
+use mmx_rf::frontend::ApFrontEnd;
+use mmx_units::{Db, Hertz};
+
+/// The mmX AP: receive chain plus either a single dipole (the prototype,
+/// §8.2) or a TMA (the multi-node SDM extension, §7(b)).
+#[derive(Debug, Clone)]
+pub struct ApStation {
+    /// Position and facing in the room.
+    pub pose: Pose,
+    front_end: ApFrontEnd,
+    tma: Option<Tma>,
+}
+
+impl ApStation {
+    /// The prototype AP: dipole only.
+    pub fn dipole(pose: Pose) -> Self {
+        ApStation {
+            pose,
+            front_end: ApFrontEnd::standard(),
+            tma: None,
+        }
+    }
+
+    /// An SDM-capable AP with an `n`-element TMA switching at
+    /// `switch_freq`.
+    pub fn with_tma(pose: Pose, n: usize, switch_freq: Hertz) -> Self {
+        ApStation {
+            pose,
+            front_end: ApFrontEnd::standard(),
+            tma: Some(Tma::new(n, Hertz::from_ghz(24.0), switch_freq)),
+        }
+    }
+
+    /// The receive chain.
+    pub fn front_end(&self) -> &ApFrontEnd {
+        &self.front_end
+    }
+
+    /// The TMA, when fitted.
+    pub fn tma(&self) -> Option<&Tma> {
+        self.tma.as_ref()
+    }
+
+    /// The antenna element used for single-node links.
+    pub fn element(&self) -> Element {
+        Element::ApDipole
+    }
+
+    /// Cascaded receiver noise figure.
+    pub fn noise_figure(&self) -> Db {
+        self.front_end.noise_figure()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_channel::Vec2;
+    use mmx_units::Degrees;
+
+    fn pose() -> Pose {
+        Pose::new(Vec2::new(5.5, 2.0), Degrees::new(180.0))
+    }
+
+    #[test]
+    fn dipole_ap_has_no_tma() {
+        let ap = ApStation::dipole(pose());
+        assert!(ap.tma().is_none());
+        assert_eq!(ap.element(), Element::ApDipole);
+    }
+
+    #[test]
+    fn tma_ap_exposes_array() {
+        let ap = ApStation::with_tma(pose(), 8, Hertz::from_mhz(1.0));
+        assert_eq!(ap.tma().expect("tma").len(), 8);
+    }
+
+    #[test]
+    fn noise_figure_matches_cascade() {
+        let ap = ApStation::dipole(pose());
+        let nf = ap.noise_figure().value();
+        assert!(nf > 2.0 && nf < 3.0, "NF = {nf}");
+    }
+}

@@ -1,0 +1,231 @@
+//! The initialization protocol.
+//!
+//! §7(a): "The channels are specified by the AP to each node in the
+//! initialization stage. The initialization takes place only once using a
+//! WiFi or Bluetooth module." We model that out-of-band exchange as a
+//! tiny request/grant protocol with explicit message types, a per-message
+//! latency, and an energy cost — so the network simulator can account for
+//! the (one-time) overhead that beam-search systems pay *continuously*.
+
+use crate::fdm::{AllocError, BandPlan, ChannelAssignment};
+use mmx_units::{BitRate, Hertz, Seconds};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node's identifier on the control plane.
+pub type NodeId = u8;
+
+/// Control-plane messages (carried over BLE/WiFi, not over mmWave).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// Node → AP: request admission with a data-rate demand.
+    JoinRequest {
+        /// Requesting node.
+        node: NodeId,
+        /// Demanded sustained data rate in bit/s.
+        demand_bps: f64,
+    },
+    /// AP → node: the granted channel.
+    Grant {
+        /// Addressed node.
+        node: NodeId,
+        /// Channel center frequency in Hz.
+        center_hz: f64,
+        /// Channel width in Hz.
+        width_hz: f64,
+        /// FSK deviation to use within the channel, in Hz.
+        fsk_deviation_hz: f64,
+    },
+    /// AP → node: admission denied (band exhausted and SDM cannot help).
+    Reject {
+        /// Addressed node.
+        node: NodeId,
+    },
+    /// Node → AP: leaving the network; the channel returns to the pool.
+    Leave {
+        /// Departing node.
+        node: NodeId,
+    },
+}
+
+/// Latency of one control-plane round trip (BLE connection-event scale).
+pub const CONTROL_RTT: Seconds = Seconds::from_millis(30.0);
+
+/// Energy a node spends per control message (BLE TX burst), joules.
+pub const CONTROL_MSG_ENERGY_J: f64 = 30e-6;
+
+/// The AP-side admission state machine.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    plan: BandPlan,
+    granted: BTreeMap<NodeId, (BitRate, ChannelAssignment)>,
+}
+
+impl Admission {
+    /// Creates an admission controller over a band plan.
+    pub fn new(plan: BandPlan) -> Self {
+        Admission {
+            plan,
+            granted: BTreeMap::new(),
+        }
+    }
+
+    /// Handles a join request, re-packing all grants. On success, returns
+    /// the grant message for the new node (existing nodes keep their
+    /// logical channels; re-packing may move centers, which the AP would
+    /// push as fresh grants — returned alongside).
+    pub fn join(&mut self, node: NodeId, demand: BitRate) -> Result<Vec<ControlMsg>, AllocError> {
+        let mut demands: Vec<(NodeId, BitRate)> =
+            self.granted.iter().map(|(&id, &(d, _))| (id, d)).collect();
+        demands.retain(|(id, _)| *id != node);
+        demands.push((node, demand));
+        let rates: Vec<BitRate> = demands.iter().map(|(_, d)| *d).collect();
+        let assignments = self.plan.allocate(&rates)?;
+        self.granted = demands
+            .iter()
+            .zip(&assignments)
+            .map(|(&(id, d), &a)| (id, (d, a)))
+            .collect();
+        Ok(demands
+            .iter()
+            .zip(&assignments)
+            .map(|(&(id, _), &a)| ControlMsg::Grant {
+                node: id,
+                center_hz: a.center.hz(),
+                width_hz: a.width.hz(),
+                fsk_deviation_hz: (a.width.hz() * 0.08).min(2e6),
+            })
+            .collect())
+    }
+
+    /// Handles a leave, freeing the node's spectrum.
+    pub fn leave(&mut self, node: NodeId) {
+        self.granted.remove(&node);
+    }
+
+    /// The current grant for a node.
+    pub fn grant_of(&self, node: NodeId) -> Option<ChannelAssignment> {
+        self.granted.get(&node).map(|&(_, a)| a)
+    }
+
+    /// Number of admitted nodes.
+    pub fn admitted(&self) -> usize {
+        self.granted.len()
+    }
+
+    /// Total spectrum currently granted (signal bandwidth, no guards).
+    pub fn spectrum_in_use(&self) -> Hertz {
+        self.granted
+            .values()
+            .fold(Hertz::new(0.0), |acc, &(_, a)| acc + a.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission() -> Admission {
+        Admission::new(BandPlan::ism_24ghz())
+    }
+
+    #[test]
+    fn single_join_grants_a_channel() {
+        let mut a = admission();
+        let msgs = a.join(1, BitRate::from_mbps(10.0)).expect("admitted");
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            ControlMsg::Grant { node, width_hz, .. } => {
+                assert_eq!(*node, 1);
+                assert!(*width_hz >= 10e6);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert_eq!(a.admitted(), 1);
+        assert!(a.grant_of(1).is_some());
+    }
+
+    #[test]
+    fn grants_are_disjoint() {
+        let mut a = admission();
+        for id in 1..=5 {
+            a.join(id, BitRate::from_mbps(10.0)).expect("admitted");
+        }
+        let grants: Vec<ChannelAssignment> =
+            (1..=5).map(|id| a.grant_of(id).expect("granted")).collect();
+        for i in 0..grants.len() {
+            for j in i + 1..grants.len() {
+                assert!(!grants[i].band().overlaps(&grants[j].band()));
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_updates_demand() {
+        let mut a = admission();
+        a.join(1, BitRate::from_mbps(10.0)).unwrap();
+        a.join(1, BitRate::from_mbps(50.0)).unwrap();
+        assert_eq!(a.admitted(), 1);
+        assert!(a.grant_of(1).unwrap().width.mhz() >= 50.0);
+    }
+
+    #[test]
+    fn band_exhaustion_rejects_join() {
+        let mut a = admission();
+        a.join(1, BitRate::from_mbps(90.0)).unwrap();
+        a.join(2, BitRate::from_mbps(90.0)).unwrap();
+        // A third 90 Mbps stream does not fit in 250 MHz with roll-off.
+        assert_eq!(
+            a.join(3, BitRate::from_mbps(90.0)),
+            Err(AllocError::BandExhausted)
+        );
+        // The failed join must not disturb existing grants.
+        assert_eq!(a.admitted(), 2);
+        assert!(a.grant_of(3).is_none());
+    }
+
+    #[test]
+    fn leave_frees_spectrum() {
+        let mut a = admission();
+        a.join(1, BitRate::from_mbps(90.0)).unwrap();
+        a.join(2, BitRate::from_mbps(90.0)).unwrap();
+        a.leave(1);
+        assert_eq!(a.admitted(), 1);
+        // Now the third join fits.
+        assert!(a.join(3, BitRate::from_mbps(90.0)).is_ok());
+    }
+
+    #[test]
+    fn spectrum_accounting() {
+        let mut a = admission();
+        a.join(1, BitRate::from_mbps(10.0)).unwrap();
+        a.join(2, BitRate::from_mbps(20.0)).unwrap();
+        let used = a.spectrum_in_use().mhz();
+        assert!((used - (12.5 + 25.0)).abs() < 0.1, "used = {used} MHz");
+    }
+
+    #[test]
+    fn fsk_deviation_scales_with_channel() {
+        let mut a = admission();
+        let msgs = a.join(1, BitRate::from_mbps(10.0)).unwrap();
+        if let ControlMsg::Grant {
+            fsk_deviation_hz,
+            width_hz,
+            ..
+        } = msgs[0]
+        {
+            assert!(fsk_deviation_hz > 0.0);
+            assert!(fsk_deviation_hz < width_hz / 2.0);
+        } else {
+            panic!("expected grant");
+        }
+    }
+
+    #[test]
+    fn control_constants_are_sane() {
+        let rtt = CONTROL_RTT.millis();
+        let energy = CONTROL_MSG_ENERGY_J;
+        assert!(rtt < 100.0, "RTT {rtt} ms");
+        assert!(energy < 1e-3, "energy {energy} J");
+    }
+}

@@ -1,0 +1,97 @@
+//! Network-wide energy accounting.
+//!
+//! Tracks the joules each node spends (radio airtime + control traffic)
+//! and the bits it delivers — producing the nJ/bit figure of merit Table 1
+//! is built around.
+
+use mmx_units::{Seconds, Watts};
+
+/// A per-node energy meter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyMeter {
+    joules: f64,
+    delivered_bits: u64,
+}
+
+impl EnergyMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Records a radio-on interval at a given DC draw.
+    pub fn record_airtime(&mut self, duration: Seconds, draw: Watts) {
+        assert!(duration.value() >= 0.0, "negative duration");
+        self.joules += draw.value() * duration.value();
+    }
+
+    /// Records a fixed energy cost (e.g. a control message).
+    pub fn record_fixed(&mut self, joules: f64) {
+        assert!(joules >= 0.0, "negative energy");
+        self.joules += joules;
+    }
+
+    /// Credits successfully delivered bits.
+    pub fn record_delivered(&mut self, bits: u64) {
+        self.delivered_bits += bits;
+    }
+
+    /// Total energy consumed, joules.
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Total bits delivered.
+    pub fn delivered_bits(&self) -> u64 {
+        self.delivered_bits
+    }
+
+    /// Delivered-bit efficiency in nJ/bit; `None` before any delivery.
+    pub fn nj_per_bit(&self) -> Option<f64> {
+        (self.delivered_bits > 0).then(|| self.joules * 1e9 / self.delivered_bits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_efficiency_reproduced() {
+        // 1.1 W for 1 s at 100 Mbps delivered = 11 nJ/bit.
+        let mut m = EnergyMeter::new();
+        m.record_airtime(Seconds::new(1.0), Watts::new(1.1));
+        m.record_delivered(100_000_000);
+        assert!((m.nj_per_bit().unwrap() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_worsen_efficiency() {
+        let mut m = EnergyMeter::new();
+        m.record_airtime(Seconds::new(1.0), Watts::new(1.1));
+        m.record_delivered(50_000_000); // half the packets lost
+        assert!((m.nj_per_bit().unwrap() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn control_energy_accumulates() {
+        let mut m = EnergyMeter::new();
+        m.record_fixed(30e-6);
+        m.record_fixed(30e-6);
+        assert!((m.joules() - 60e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_delivery_no_efficiency() {
+        let mut m = EnergyMeter::new();
+        m.record_airtime(Seconds::new(1.0), Watts::new(1.0));
+        assert!(m.nj_per_bit().is_none());
+        assert_eq!(m.delivered_bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_duration_rejected() {
+        EnergyMeter::new().record_airtime(Seconds::new(-1.0), Watts::new(1.0));
+    }
+}

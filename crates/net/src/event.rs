@@ -1,0 +1,186 @@
+//! A deterministic discrete-event engine.
+//!
+//! The simulator schedules packet transmissions, mobility steps and
+//! blockage transitions as timestamped events. Ties are broken by
+//! insertion order, so runs are bit-for-bit reproducible.
+
+use mmx_units::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: Seconds,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Seconds,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Seconds::ZERO,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped
+    /// event).
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an event at an absolute time. Panics on scheduling into
+    /// the past.
+    pub fn schedule_at(&mut self, time: Seconds, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({} < {})",
+            time.value(),
+            self.now.value()
+        );
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Seconds, event: E) {
+        assert!(delay.value() >= 0.0, "negative delay");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(Seconds, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(3.0), "c");
+        q.schedule_at(Seconds::new(1.0), "a");
+        q.schedule_at(Seconds::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule_at(Seconds::new(1.0), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(5.0), ());
+        assert_eq!(q.now(), Seconds::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Seconds::new(5.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(2.0), "base");
+        q.pop();
+        q.schedule_in(Seconds::new(1.5), "later");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Seconds::new(3.5));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(1.0), ());
+        assert_eq!(q.peek_time(), Some(Seconds::new(1.0)));
+        assert_eq!(q.now(), Seconds::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(2.0), ());
+        q.pop();
+        q.schedule_at(Seconds::new(1.0), ());
+    }
+
+    #[test]
+    fn interleaved_scheduling_and_popping() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(1.0), 1);
+        q.schedule_at(Seconds::new(10.0), 10);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        q.schedule_in(Seconds::new(2.0), 3); // at t=3
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 3);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 10);
+        assert!(q.pop().is_none());
+    }
+}

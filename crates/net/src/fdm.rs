@@ -1,0 +1,219 @@
+//! Frequency-division multiplexing: band plans and the demand-driven
+//! channel allocator.
+//!
+//! §7(a): "mmX divides the available spectrum between nodes depending on
+//! their data rate demand. ... The channels are specified by the AP to
+//! each node in the initialization stage." OOK at 1 bit/symbol needs
+//! roughly `rate × (1+rolloff)` of bandwidth; the allocator packs
+//! channels (plus guard bands) into the unlicensed band low-to-high.
+
+use mmx_units::{Band, BitRate, Hertz};
+use serde::{Deserialize, Serialize};
+
+/// A band plan: the unlicensed band plus allocation policy constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandPlan {
+    band: Band,
+    guard: Hertz,
+    rolloff: f64,
+    min_channel: Hertz,
+}
+
+/// A channel granted to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelAssignment {
+    /// Channel center frequency.
+    pub center: Hertz,
+    /// Channel width (signal bandwidth, guard not included).
+    pub width: Hertz,
+}
+
+impl ChannelAssignment {
+    /// The occupied sub-band.
+    pub fn band(&self) -> Band {
+        Band::centered(self.center, self.width)
+    }
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The total demand exceeds the band: the network must fall back to
+    /// SDM (§7(b)).
+    BandExhausted,
+    /// A single demand exceeds what OOK in this band could ever carry.
+    DemandTooLarge,
+}
+
+impl BandPlan {
+    /// Creates a plan over `band` with a `guard` between channels.
+    pub fn new(band: Band, guard: Hertz) -> Self {
+        assert!(guard.hz() >= 0.0, "negative guard");
+        BandPlan {
+            band,
+            guard,
+            rolloff: 0.25,
+            min_channel: Hertz::from_mhz(1.0),
+        }
+    }
+
+    /// The 24 GHz ISM plan used by the prototype: 250 MHz with 1 MHz
+    /// guards.
+    pub fn ism_24ghz() -> Self {
+        BandPlan::new(Band::ism_24ghz(), Hertz::from_mhz(1.0))
+    }
+
+    /// The 60 GHz plan (7 GHz of spectrum, §7(a)).
+    pub fn unlicensed_60ghz() -> Self {
+        BandPlan::new(Band::unlicensed_60ghz(), Hertz::from_mhz(10.0))
+    }
+
+    /// The underlying band.
+    pub fn band(&self) -> &Band {
+        &self.band
+    }
+
+    /// Bandwidth needed to carry `rate` with OOK (1 bit/symbol) plus
+    /// roll-off, floored at the minimum channel.
+    pub fn width_for(&self, rate: BitRate) -> Hertz {
+        Hertz::new(rate.bps() * (1.0 + self.rolloff)).max(self.min_channel)
+    }
+
+    /// The data rate a channel of `width` supports (inverse of
+    /// [`width_for`](Self::width_for)).
+    pub fn rate_for(&self, width: Hertz) -> BitRate {
+        BitRate::new(width.hz() / (1.0 + self.rolloff))
+    }
+
+    /// Allocates channels for a set of demands, low-to-high. Returns one
+    /// assignment per demand, in order.
+    pub fn allocate(&self, demands: &[BitRate]) -> Result<Vec<ChannelAssignment>, AllocError> {
+        let mut cursor = self.band.low;
+        let mut out = Vec::with_capacity(demands.len());
+        for &d in demands {
+            let width = self.width_for(d);
+            if width.hz() > self.band.bandwidth().hz() {
+                return Err(AllocError::DemandTooLarge);
+            }
+            let top = cursor + width;
+            if top.hz() > self.band.high.hz() + 1e-3 {
+                return Err(AllocError::BandExhausted);
+            }
+            out.push(ChannelAssignment {
+                center: cursor + width / 2.0,
+                width,
+            });
+            cursor = top + self.guard;
+        }
+        Ok(out)
+    }
+
+    /// How many equal channels of `width` fit in the band.
+    pub fn capacity(&self, width: Hertz) -> usize {
+        let per = width.hz() + self.guard.hz();
+        if per <= 0.0 {
+            return 0;
+        }
+        // The last channel does not need a trailing guard.
+        ((self.band.bandwidth().hz() + self.guard.hz()) / per).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn hd_camera_gets_a_few_mhz() {
+        // §4: "if a device needs to stream an HD video, a few MHz of
+        // bandwidth must be allocated to it" (8–10 Mbps application rate).
+        let plan = BandPlan::ism_24ghz();
+        let w = plan.width_for(BitRate::from_mbps(8.0));
+        assert!((8.0..=15.0).contains(&w.mhz()), "width = {w}");
+    }
+
+    #[test]
+    fn allocation_is_disjoint_and_in_band() {
+        let plan = BandPlan::ism_24ghz();
+        let demands = vec![BitRate::from_mbps(10.0); 8];
+        let got = plan.allocate(&demands).expect("fits");
+        assert_eq!(got.len(), 8);
+        for (i, a) in got.iter().enumerate() {
+            assert!(plan.band().contains_band(&a.band()), "ch {i} out of band");
+            for b in &got[i + 1..] {
+                assert!(!a.band().overlaps(&b.band()), "channels overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn guard_bands_separate_neighbors() {
+        let plan = BandPlan::ism_24ghz();
+        let got = plan
+            .allocate(&[BitRate::from_mbps(10.0), BitRate::from_mbps(10.0)])
+            .expect("fits");
+        let gap = got[1].band().low - got[0].band().high;
+        close(gap.mhz(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn band_exhaustion_detected() {
+        let plan = BandPlan::ism_24ghz();
+        // 250 MHz / (125+1) MHz: two 100 Mbps channels do not fit.
+        let demands = vec![BitRate::from_mbps(100.0); 2];
+        assert_eq!(plan.allocate(&demands), Err(AllocError::BandExhausted));
+    }
+
+    #[test]
+    fn oversized_single_demand_detected() {
+        let plan = BandPlan::ism_24ghz();
+        assert_eq!(
+            plan.allocate(&[BitRate::from_mbps(500.0)]),
+            Err(AllocError::DemandTooLarge)
+        );
+    }
+
+    #[test]
+    fn sixty_ghz_band_carries_many_more() {
+        let ism = BandPlan::ism_24ghz();
+        let v = BandPlan::unlicensed_60ghz();
+        let w = Hertz::from_mhz(25.0);
+        assert!(v.capacity(w) > 10 * ism.capacity(w));
+    }
+
+    #[test]
+    fn capacity_matches_allocation() {
+        let plan = BandPlan::ism_24ghz();
+        let w = Hertz::from_mhz(25.0);
+        let cap = plan.capacity(w);
+        // `cap` channels of exactly this width must allocate...
+        let rate = plan.rate_for(w);
+        assert!(plan.allocate(&vec![rate; cap]).is_ok());
+        // ... and one more must not.
+        assert!(plan.allocate(&vec![rate; cap + 1]).is_err());
+    }
+
+    #[test]
+    fn width_rate_roundtrip() {
+        let plan = BandPlan::ism_24ghz();
+        let r = BitRate::from_mbps(42.0);
+        close(plan.rate_for(plan.width_for(r)).mbps(), 42.0, 1e-9);
+    }
+
+    #[test]
+    fn tiny_demand_gets_minimum_channel() {
+        let plan = BandPlan::ism_24ghz();
+        let w = plan.width_for(BitRate::from_kbps(10.0));
+        close(w.mhz(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn empty_demand_list_is_fine() {
+        let plan = BandPlan::ism_24ghz();
+        assert!(plan.allocate(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! SINR computation for concurrent uplinks.
+//!
+//! A node's signal at the AP competes with (a) other nodes leaking across
+//! TMA harmonics (the 20–30 dB-down copies of Eq. 4), (b) adjacent-channel
+//! leakage of OOK spectra, and (c) thermal noise. Fig. 13's "SNR slightly
+//! decreases" with node count is exactly these terms growing.
+
+use crate::sdm::SdmSlot;
+use mmx_antenna::tma::Tma;
+use mmx_units::{thermal_noise_dbm, Db, DbmPower, Degrees, Hertz};
+
+/// Adjacent-channel leakage of an OOK transmitter into a channel `k`
+/// steps away (guard bands included in the plan): −30 dB for the first
+/// neighbor, −45 beyond, −60 floor.
+pub fn adjacent_channel_leakage(channel_distance: usize) -> Db {
+    Db::new(match channel_distance {
+        0 => 0.0,
+        1 => -30.0,
+        2 => -45.0,
+        _ => -60.0,
+    })
+}
+
+/// One transmitting node as seen by the interference engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Uplink {
+    /// Receive power at the AP antenna *before* TMA processing (channel
+    /// gain applied, AP element gain included).
+    pub rx_power: DbmPower,
+    /// Angle of arrival at the AP.
+    pub aoa: Degrees,
+    /// The node's SDM slot.
+    pub slot: SdmSlot,
+}
+
+/// Computes the SINR of every uplink.
+///
+/// For node `i`, the wanted power is its `rx_power` plus the TMA gain of
+/// its own harmonic toward its own direction; every other node `j`
+/// contributes `rx_power_j` scaled by the TMA gain of *i's* harmonic
+/// toward *j's* direction and the adjacent-channel isolation between
+/// their channels.
+pub fn sinr_all(tma: &Tma, uplinks: &[Uplink], bandwidth: Hertz, noise_figure: Db) -> Vec<Db> {
+    let noise = thermal_noise_dbm(bandwidth, noise_figure);
+    uplinks
+        .iter()
+        .map(|me| {
+            // The TMA patterns are normalized to a single always-on
+            // element; normalize per-link so the wanted harmonic gain at
+            // the matched direction reads as ~0 dB and leakage as
+            // negative.
+            let wanted = me.rx_power + tma.harmonic_gain(me.slot.harmonic, me.aoa);
+            let mut terms = vec![noise + tma.harmonic_gain(me.slot.harmonic, me.aoa).min(Db::ZERO)];
+            for other in uplinks {
+                if std::ptr::eq(me, other) {
+                    continue;
+                }
+                let tma_gain = tma.harmonic_gain(me.slot.harmonic, other.aoa);
+                let acl = adjacent_channel_leakage(me.slot.channel.abs_diff(other.slot.channel));
+                terms.push(other.rx_power + tma_gain + acl);
+            }
+            wanted - DbmPower::power_sum(terms)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tma() -> Tma {
+        Tma::new(8, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0))
+    }
+
+    fn bw() -> Hertz {
+        Hertz::from_mhz(25.0)
+    }
+
+    fn nf() -> Db {
+        Db::new(2.6)
+    }
+
+    fn slot(channel: usize, harmonic: i32) -> SdmSlot {
+        SdmSlot { channel, harmonic }
+    }
+
+    #[test]
+    fn lone_node_sinr_is_snr() {
+        let t = tma();
+        let aoa = t.harmonic_direction(0).unwrap();
+        let up = [Uplink {
+            rx_power: DbmPower::new(-60.0),
+            aoa,
+            slot: slot(0, 0),
+        }];
+        let sinr = sinr_all(&t, &up, bw(), nf())[0];
+        // Noise floor ≈ −97.4 dBm; wanted −60 + harmonic gain.
+        let expect = DbmPower::new(-60.0) + t.harmonic_gain(0, aoa) - thermal_noise_dbm(bw(), nf());
+        assert!((sinr - expect).value().abs() < 0.1, "sinr {sinr}");
+    }
+
+    #[test]
+    fn spatially_separated_cochannel_nodes_barely_interfere() {
+        let t = tma();
+        let d0 = t.harmonic_direction(0).unwrap();
+        let d2 = t.harmonic_direction(2).unwrap();
+        let ups = [
+            Uplink {
+                rx_power: DbmPower::new(-60.0),
+                aoa: d0,
+                slot: slot(0, 0),
+            },
+            Uplink {
+                rx_power: DbmPower::new(-60.0),
+                aoa: d2,
+                slot: slot(0, 2),
+            },
+        ];
+        let sinr = sinr_all(&t, &ups, bw(), nf());
+        // Both nodes keep >20 dB despite sharing the channel.
+        for (i, s) in sinr.iter().enumerate() {
+            assert!(s.value() > 20.0, "node {i} sinr = {s}");
+        }
+    }
+
+    #[test]
+    fn cochannel_same_direction_collides() {
+        let t = tma();
+        let d0 = t.harmonic_direction(0).unwrap();
+        let ups = [
+            Uplink {
+                rx_power: DbmPower::new(-60.0),
+                aoa: d0,
+                slot: slot(0, 0),
+            },
+            Uplink {
+                rx_power: DbmPower::new(-60.0),
+                aoa: d0,
+                slot: slot(0, 0),
+            },
+        ];
+        let sinr = sinr_all(&t, &ups, bw(), nf());
+        // Equal-power co-channel, co-beam: SINR pinned near 0 dB.
+        for s in &sinr {
+            assert!(s.value() < 3.0, "sinr = {s}");
+        }
+    }
+
+    #[test]
+    fn adjacent_channel_isolation_restores_link() {
+        let t = tma();
+        let d0 = t.harmonic_direction(0).unwrap();
+        let mk = |ch: usize| {
+            [
+                Uplink {
+                    rx_power: DbmPower::new(-60.0),
+                    aoa: d0,
+                    slot: slot(0, 0),
+                },
+                Uplink {
+                    rx_power: DbmPower::new(-60.0),
+                    aoa: d0,
+                    slot: slot(ch, 0),
+                },
+            ]
+        };
+        let same = sinr_all(&t, &mk(0), bw(), nf())[0];
+        let adjacent = sinr_all(&t, &mk(1), bw(), nf())[0];
+        let far = sinr_all(&t, &mk(3), bw(), nf())[0];
+        assert!((adjacent - same).value() > 25.0);
+        assert!(far > adjacent);
+    }
+
+    #[test]
+    fn leakage_table_is_monotone() {
+        for k in 0..5 {
+            assert!(
+                adjacent_channel_leakage(k + 1) <= adjacent_channel_leakage(k),
+                "ACL not monotone at {k}"
+            );
+        }
+        assert_eq!(adjacent_channel_leakage(0), Db::ZERO);
+    }
+
+    #[test]
+    fn stronger_interferer_hurts_more() {
+        let t = tma();
+        let d0 = t.harmonic_direction(0).unwrap();
+        // Slightly off-grid so the leakage into harmonic 0 is finite
+        // (exactly on-grid directions sit in the DFT beam's null).
+        let d1 = t.harmonic_direction(1).unwrap() + Degrees::new(3.0);
+        let mk = |p: f64| {
+            [
+                Uplink {
+                    rx_power: DbmPower::new(-60.0),
+                    aoa: d0,
+                    slot: slot(0, 0),
+                },
+                Uplink {
+                    rx_power: DbmPower::new(p),
+                    aoa: d1,
+                    slot: slot(0, 1),
+                },
+            ]
+        };
+        let weak = sinr_all(&t, &mk(-70.0), bw(), nf())[0];
+        let strong = sinr_all(&t, &mk(-40.0), bw(), nf())[0];
+        assert!(weak > strong);
+    }
+}

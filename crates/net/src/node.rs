@@ -1,0 +1,179 @@
+//! The node station model: radio + antenna + traffic source.
+
+use crate::control::NodeId;
+use mmx_antenna::beams::NodeBeams;
+use mmx_channel::response::Pose;
+use mmx_rf::frontend::NodeFrontEnd;
+use mmx_rf::power::PowerLedger;
+use mmx_units::{BitRate, Seconds, Watts};
+
+/// A mmX node in the network simulator: pose, radio hardware, and a
+/// constant-bit-rate traffic source (the IoT-camera workload of §1).
+#[derive(Debug, Clone)]
+pub struct NodeStation {
+    /// Control-plane identifier.
+    pub id: NodeId,
+    /// Position and facing in the room.
+    pub pose: Pose,
+    /// Sustained data-rate demand.
+    pub demand: BitRate,
+    /// Application payload per packet, bytes.
+    pub payload_bytes: usize,
+    /// When the node starts transmitting (simulation time).
+    pub active_from: Seconds,
+    /// When the node leaves the network (`None` = stays for the run).
+    pub active_until: Option<Seconds>,
+    front_end: NodeFrontEnd,
+    beams: NodeBeams,
+    power: PowerLedger,
+}
+
+impl NodeStation {
+    /// Creates a node with the paper's hardware at the given pose and
+    /// demand. The demand is capped by the switch's 100 Mbps limit.
+    pub fn new(id: NodeId, pose: Pose, demand: BitRate) -> Self {
+        let front_end = NodeFrontEnd::standard();
+        let demand = front_end.switch().cap_rate(demand);
+        NodeStation {
+            id,
+            pose,
+            demand,
+            payload_bytes: 1024,
+            active_from: Seconds::ZERO,
+            active_until: None,
+            beams: NodeBeams::orthogonal(front_end.channel()),
+            front_end,
+            power: PowerLedger::mmx_node(),
+        }
+    }
+
+    /// Restricts the node to an activity window (churn modeling): it
+    /// joins at `from` and leaves at `until`.
+    pub fn with_activity(mut self, from: Seconds, until: Option<Seconds>) -> Self {
+        if let Some(u) = until {
+            assert!(u > from, "activity window is empty");
+        }
+        self.active_from = from;
+        self.active_until = until;
+        self
+    }
+
+    /// True when the node transmits at time `t`.
+    pub fn is_active(&self, t: Seconds) -> bool {
+        t >= self.active_from && self.active_until.map(|u| t < u).unwrap_or(true)
+    }
+
+    /// An HD camera node: 10 Mbps, 1400-byte packets (§1 footnote: "HD
+    /// video streaming requires 8-10 Mbps").
+    pub fn hd_camera(id: NodeId, pose: Pose) -> Self {
+        let mut n = Self::new(id, pose, BitRate::from_mbps(10.0));
+        n.payload_bytes = 1400;
+        n
+    }
+
+    /// The radio front end.
+    pub fn front_end(&self) -> &NodeFrontEnd {
+        &self.front_end
+    }
+
+    /// Mutable front end (for tuning grants).
+    pub fn front_end_mut(&mut self) -> &mut NodeFrontEnd {
+        &mut self.front_end
+    }
+
+    /// The two OTAM beams.
+    pub fn beams(&self) -> &NodeBeams {
+        &self.beams
+    }
+
+    /// DC power draw while transmitting.
+    pub fn tx_power_draw(&self) -> Watts {
+        self.power.total()
+    }
+
+    /// Bits on the air per packet (PHY overhead included).
+    pub fn packet_air_bits(&self) -> usize {
+        mmx_phy::packet::Packet::air_bits(self.payload_bytes)
+    }
+
+    /// Time between packet starts to sustain the demand.
+    pub fn packet_interval(&self) -> Seconds {
+        Seconds::new(self.payload_bytes as f64 * 8.0 / self.demand.bps())
+    }
+
+    /// On-air time of one packet at the granted PHY rate.
+    pub fn packet_airtime(&self, phy_rate: BitRate) -> Seconds {
+        phy_rate.time_for_bits(self.packet_air_bits() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_channel::Vec2;
+    use mmx_units::Degrees;
+
+    fn pose() -> Pose {
+        Pose::new(Vec2::new(1.0, 2.0), Degrees::new(0.0))
+    }
+
+    #[test]
+    fn demand_capped_at_switch_limit() {
+        let n = NodeStation::new(1, pose(), BitRate::from_mbps(400.0));
+        assert!((n.demand.mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hd_camera_profile() {
+        let n = NodeStation::hd_camera(2, pose());
+        assert!((n.demand.mbps() - 10.0).abs() < 1e-9);
+        assert_eq!(n.payload_bytes, 1400);
+    }
+
+    #[test]
+    fn packet_interval_sustains_demand() {
+        let n = NodeStation::hd_camera(1, pose());
+        let per_packet_bits = n.payload_bytes as f64 * 8.0;
+        let rate = per_packet_bits / n.packet_interval().value();
+        assert!((rate - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn airtime_shorter_than_interval_at_full_phy_rate() {
+        // A 10 Mbps camera on a 25 MHz channel (~20 Mbps PHY) spends
+        // about half its time on the air.
+        let n = NodeStation::hd_camera(1, pose());
+        let airtime = n.packet_airtime(BitRate::from_mbps(20.0));
+        assert!(airtime < n.packet_interval());
+    }
+
+    #[test]
+    fn activity_window() {
+        let n = NodeStation::hd_camera(1, pose())
+            .with_activity(Seconds::new(1.0), Some(Seconds::new(2.0)));
+        assert!(!n.is_active(Seconds::new(0.5)));
+        assert!(n.is_active(Seconds::new(1.5)));
+        assert!(!n.is_active(Seconds::new(2.5)));
+        let always = NodeStation::hd_camera(2, pose());
+        assert!(always.is_active(Seconds::new(1e6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn inverted_window_rejected() {
+        let _ = NodeStation::hd_camera(1, pose())
+            .with_activity(Seconds::new(2.0), Some(Seconds::new(1.0)));
+    }
+
+    #[test]
+    fn node_draws_1_1w() {
+        let n = NodeStation::new(1, pose(), BitRate::from_mbps(10.0));
+        assert!((n.tx_power_draw().value() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn air_bits_include_phy_overhead() {
+        let n = NodeStation::hd_camera(1, pose());
+        assert!(n.packet_air_bits() > 1400 * 8);
+    }
+}

@@ -1,0 +1,863 @@
+//! The network simulator: many nodes streaming to one AP.
+//!
+//! This is the engine behind Fig. 13 (and the network-level examples):
+//! admission, FDM channel allocation with SDM fallback, per-packet
+//! channel tracing with walking blockers, SINR → BER → packet-error
+//! conversion, and energy accounting.
+
+use crate::ap::ApStation;
+use crate::control::Admission;
+use crate::energy::EnergyMeter;
+use crate::event::EventQueue;
+use crate::fdm::{AllocError, BandPlan};
+use crate::interference::adjacent_channel_leakage;
+use crate::node::NodeStation;
+use crate::sdm::{SdmError, SdmScheduler, SdmSlot};
+use mmx_channel::blockage::HumanBlocker;
+use mmx_channel::fading::{FadingProcess, Rician};
+use mmx_channel::mobility::{LinearWalker, RandomWaypoint};
+use mmx_channel::response::{beam_channel, BeamChannel};
+use mmx_channel::room::Room;
+use mmx_channel::trace::Tracer;
+use mmx_phy::ber::joint_ber;
+use mmx_units::{thermal_noise_dbm, BitRate, Db, DbmPower, Degrees, Hertz, Seconds};
+use rand::{Rng, SeedableRng};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// RNG seed — same seed, same run.
+    pub seed: u64,
+    /// The band plan for FDM.
+    pub plan: BandPlan,
+    /// Fixed channel width when SDM kicks in (the paper's 25 MHz
+    /// sub-bands, §9.5).
+    pub sdm_channel_width: Hertz,
+    /// LoS path-loss exponent.
+    pub path_loss_exponent: f64,
+    /// Implementation loss (DESIGN.md §5).
+    pub implementation_loss: Db,
+    /// Number of random-waypoint walkers perturbing the channel.
+    pub walkers: usize,
+    /// Whether one person paces across the room center (§9.2's permanent
+    /// LoS blocker).
+    pub pacing_blocker: bool,
+    /// Mobility/blockage update period.
+    pub step: Seconds,
+    /// Uplink power control: during initialization each node backs its
+    /// transmit power off (up to `max_backoff`) so that all nodes arrive
+    /// at the AP with similar power — the classic near-far fix, and an
+    /// extension over the paper (DESIGN.md §6).
+    pub power_control: bool,
+    /// Maximum power-control backoff.
+    pub max_backoff: Db,
+    /// Rician small-scale fading on top of the specular geometry
+    /// (per-packet, time-correlated). `None` = specular only.
+    pub fading: Option<FadingConfig>,
+    /// Rate adaptation: each node picks the fastest switch speed whose
+    /// predicted BER meets 1e-6 given its initial SINR (extension;
+    /// `mmx-phy::rate`). Slower symbols gain post-detection SNR.
+    pub rate_adaptation: bool,
+    /// Trace two-bounce specular paths (worth it in metallic rooms like
+    /// vehicle cabins; off for the paper's drywall lab).
+    pub second_order_reflections: bool,
+    /// Record a per-packet trace in the report.
+    pub record_trace: bool,
+}
+
+/// Small-scale fading parameters for the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct FadingConfig {
+    /// Rician K-factor in dB (7 dB ≈ indoor mmWave).
+    pub k_db: f64,
+    /// Per-packet correlation of the diffuse component (0..1).
+    pub rho: f64,
+}
+
+impl FadingConfig {
+    /// Indoor defaults: K = 7 dB, slowly varying (ρ = 0.9).
+    pub fn indoor() -> Self {
+        FadingConfig {
+            k_db: 7.0,
+            rho: 0.9,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Defaults matching the paper's testbed conditions.
+    pub fn standard() -> Self {
+        SimConfig {
+            duration: Seconds::new(2.0),
+            seed: 1,
+            plan: BandPlan::ism_24ghz(),
+            sdm_channel_width: Hertz::from_mhz(25.0),
+            path_loss_exponent: 2.0,
+            implementation_loss: Db::new(18.0),
+            walkers: 1,
+            pacing_blocker: false,
+            step: Seconds::from_millis(100.0),
+            power_control: true,
+            max_backoff: Db::new(20.0),
+            fading: None,
+            rate_adaptation: false,
+            second_order_reflections: false,
+            record_trace: false,
+        }
+    }
+}
+
+/// Why a simulation could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A single node demanded more than the band can carry.
+    Admission(AllocError),
+    /// Even SDM could not separate the offered load.
+    Sdm(SdmError),
+    /// No nodes were added.
+    Empty,
+}
+
+/// Per-node outcome of a run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node id.
+    pub id: u8,
+    /// Packets transmitted.
+    pub sent: u64,
+    /// Packets delivered (CRC-clean).
+    pub delivered: u64,
+    /// Mean SINR over transmissions (dB).
+    pub mean_sinr_db: f64,
+    /// Worst observed SINR (dB).
+    pub min_sinr_db: f64,
+    /// Packet error rate.
+    pub per: f64,
+    /// Application goodput, bit/s.
+    pub goodput_bps: f64,
+    /// Total energy spent, joules.
+    pub energy_j: f64,
+    /// Delivered-bit efficiency, nJ/bit.
+    pub nj_per_bit: Option<f64>,
+    /// The SDM slot the node ran on.
+    pub slot: SdmSlot,
+}
+
+/// One recorded packet transmission (when `record_trace` is on).
+#[derive(Debug, Clone, Copy)]
+pub struct PacketSample {
+    /// Transmission start time.
+    pub t: Seconds,
+    /// Transmitting node index.
+    pub node: usize,
+    /// SINR at the AP, dB.
+    pub sinr_db: f64,
+    /// Whether the packet survived.
+    pub delivered: bool,
+}
+
+/// Aggregate outcome of a run.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Per-node reports, in node order.
+    pub nodes: Vec<NodeReport>,
+    /// Whether the run needed SDM (demand exceeded the band).
+    pub used_sdm: bool,
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Per-packet trace (empty unless `record_trace`).
+    pub trace: Vec<PacketSample>,
+}
+
+impl NetworkReport {
+    /// Mean of the per-node mean SINRs.
+    pub fn mean_sinr_db(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return f64::NAN;
+        }
+        self.nodes.iter().map(|n| n.mean_sinr_db).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// The worst per-node mean SINR.
+    pub fn min_mean_sinr_db(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.mean_sinr_db)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total delivered goodput.
+    pub fn total_goodput(&self) -> BitRate {
+        BitRate::new(self.nodes.iter().map(|n| n.goodput_bps).sum())
+    }
+}
+
+enum Event {
+    Packet(usize),
+    Step,
+}
+
+/// The network simulator.
+pub struct NetworkSim {
+    room: Room,
+    ap: ApStation,
+    nodes: Vec<NodeStation>,
+    cfg: SimConfig,
+}
+
+impl NetworkSim {
+    /// Creates a simulator.
+    pub fn new(room: Room, ap: ApStation, cfg: SimConfig) -> Self {
+        NetworkSim {
+            room,
+            ap,
+            nodes: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, node: NodeStation) -> &mut Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Angle of arrival of each node's LoS at the AP, relative to the
+    /// AP's facing.
+    fn arrival_angles(&self) -> Vec<Degrees> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                ((n.pose.position - self.ap.pose.position).bearing() - self.ap.pose.facing)
+                    .wrapped()
+            })
+            .collect()
+    }
+
+    /// Plans slots and PHY rates: FDM when the band fits the demand, SDM
+    /// otherwise.
+    fn plan_slots(&self) -> Result<(Vec<SdmSlot>, Vec<BitRate>, bool), SimError> {
+        let demands: Vec<BitRate> = self.nodes.iter().map(|n| n.demand).collect();
+        let mut admission = Admission::new(self.cfg.plan.clone());
+        let mut fdm_ok = true;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if admission.join(n.id, demands[i]).is_err() {
+                fdm_ok = false;
+                break;
+            }
+        }
+        if fdm_ok {
+            let rates = demands.clone();
+            let slots = (0..self.nodes.len())
+                .map(|i| SdmSlot {
+                    channel: i,
+                    harmonic: 0,
+                })
+                .collect();
+            return Ok((slots, rates, false));
+        }
+        // SDM fallback: equal channels + TMA spatial reuse.
+        let tma = self
+            .ap
+            .tma()
+            .cloned()
+            .ok_or(SimError::Sdm(SdmError::NotEnoughResources {
+                harmonic: 0,
+                nodes: self.nodes.len(),
+            }))?;
+        let capacity = self.cfg.plan.capacity(self.cfg.sdm_channel_width).max(1);
+        let scheduler = SdmScheduler::new(tma);
+        let slots = scheduler
+            .schedule(&self.arrival_angles(), capacity)
+            .map_err(SimError::Sdm)?;
+        let rate = self.cfg.plan.rate_for(self.cfg.sdm_channel_width);
+        let rates = self.nodes.iter().map(|n| n.demand.min(rate)).collect();
+        Ok((slots, rates, true))
+    }
+
+    /// Receive power of node `i` at the AP antenna under the current
+    /// blockers.
+    fn rx_power(&self, i: usize, blockers: &[HumanBlocker]) -> (DbmPower, BeamChannel) {
+        let tracer = Tracer::new(
+            &self.room,
+            self.nodes[i].front_end().channel(),
+            self.cfg.path_loss_exponent,
+        )
+        .with_second_order(self.cfg.second_order_reflections);
+        let ch = beam_channel(
+            &tracer,
+            self.nodes[i].pose,
+            self.ap.pose,
+            self.nodes[i].beams(),
+            self.ap.element(),
+            blockers,
+        );
+        let mark = ch.gain(ch.stronger_beam());
+        let p = self.nodes[i].front_end().antenna_power() - self.cfg.implementation_loss + mark;
+        (p, ch)
+    }
+
+    /// SINR of node `i` given everyone's cached receive powers.
+    ///
+    /// The TMA only runs in SDM mode; in pure FDM the AP listens through
+    /// its dipole (the prototype configuration).
+    fn sinr(
+        &self,
+        i: usize,
+        slots: &[SdmSlot],
+        rx: &[DbmPower],
+        aoa: &[Degrees],
+        bandwidth: Hertz,
+        tma_active: bool,
+    ) -> Db {
+        let noise = thermal_noise_dbm(bandwidth, self.ap.noise_figure());
+        let tma = self.ap.tma().filter(|_| tma_active);
+        let my_gain = tma
+            .map(|t| t.harmonic_gain(slots[i].harmonic, aoa[i]))
+            .unwrap_or(Db::ZERO);
+        let wanted = rx[i] + my_gain;
+        let mut terms = vec![noise];
+        for j in 0..self.nodes.len() {
+            if j == i {
+                continue;
+            }
+            let spatial = tma
+                .map(|t| t.harmonic_gain(slots[i].harmonic, aoa[j]))
+                .unwrap_or(Db::ZERO);
+            let acl = adjacent_channel_leakage(slots[i].channel.abs_diff(slots[j].channel));
+            terms.push(rx[j] + spatial + acl);
+        }
+        wanted - DbmPower::power_sum(terms)
+    }
+
+    /// Runs the simulation.
+    pub fn run(&self) -> Result<NetworkReport, SimError> {
+        if self.nodes.is_empty() {
+            return Err(SimError::Empty);
+        }
+        let (slots, rates, used_sdm) = self.plan_slots()?;
+        let aoa = self.arrival_angles();
+        let bandwidth = if used_sdm {
+            self.cfg.sdm_channel_width
+        } else {
+            self.cfg.plan.width_for(self.nodes[0].demand)
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed);
+
+        // Mobility state.
+        let mut walkers: Vec<RandomWaypoint> = (0..self.cfg.walkers)
+            .map(|k| {
+                let start = mmx_channel::Vec2::new(
+                    self.room.width() * (0.25 + 0.5 * (k as f64 / self.cfg.walkers.max(1) as f64)),
+                    self.room.depth() * 0.5,
+                );
+                RandomWaypoint::new(&self.room, start, 1.4, 0.3, &mut rng)
+            })
+            .collect();
+        let mut pacer = self.cfg.pacing_blocker.then(|| {
+            LinearWalker::new(
+                mmx_channel::Vec2::new(self.room.width() / 2.0, 0.5),
+                mmx_channel::Vec2::new(self.room.width() / 2.0, self.room.depth() - 0.5),
+                1.0,
+            )
+        });
+        let blockers = |walkers: &[RandomWaypoint], pacer: &Option<LinearWalker>| {
+            let mut b: Vec<HumanBlocker> = walkers
+                .iter()
+                .map(|w| HumanBlocker::typical(w.position()))
+                .collect();
+            if let Some(p) = pacer {
+                b.push(HumanBlocker::typical(p.position()));
+            }
+            b
+        };
+
+        // Initial channel state.
+        let current = blockers(&walkers, &pacer);
+        let mut rx: Vec<DbmPower> = Vec::with_capacity(self.nodes.len());
+        let mut seps: Vec<Db> = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            let (p, ch) = self.rx_power(i, &current);
+            rx.push(p);
+            seps.push(ch.level_separation());
+        }
+        // Power control (set once at initialization): back strong nodes
+        // off toward the weakest arrival, bounded by max_backoff.
+        let backoff: Vec<Db> = if self.cfg.power_control && self.nodes.len() > 1 {
+            let floor = rx
+                .iter()
+                .cloned()
+                .fold(DbmPower::new(f64::INFINITY), DbmPower::min);
+            rx.iter()
+                .map(|&p| (p - floor).clamp(Db::ZERO, self.cfg.max_backoff))
+                .collect()
+        } else {
+            vec![Db::ZERO; self.nodes.len()]
+        };
+        for i in 0..self.nodes.len() {
+            rx[i] -= backoff[i];
+        }
+        // Rate adaptation (set once at initialization, like the grants):
+        // drop to a slower switch speed when the initial SINR cannot
+        // carry the granted rate at the target BER.
+        let mut rates = rates;
+        if self.cfg.rate_adaptation {
+            let adapter = mmx_phy::rate::RateAdapter::standard();
+            for i in 0..self.nodes.len() {
+                let sinr = self.sinr(i, &slots, &rx, &aoa, bandwidth, used_sdm);
+                // Refer the channel-band SINR to the granted symbol band.
+                let ref_gain =
+                    Db::new(10.0 * (bandwidth.hz() / adapter.reference_rate().bps()).log10());
+                if let Some(r) = adapter.select(sinr + ref_gain, seps[i]) {
+                    rates[i] = rates[i].min(r);
+                }
+            }
+        }
+
+        // Stats.
+        let mut sent = vec![0u64; self.nodes.len()];
+        let mut delivered = vec![0u64; self.nodes.len()];
+        let mut sinr_sum = vec![0.0f64; self.nodes.len()];
+        let mut sinr_min = vec![f64::INFINITY; self.nodes.len()];
+        let mut meters: Vec<EnergyMeter> = vec![EnergyMeter::new(); self.nodes.len()];
+        for m in &mut meters {
+            // Join handshake: request + grant.
+            m.record_fixed(2.0 * crate::control::CONTROL_MSG_ENERGY_J);
+        }
+        let mut trace: Vec<PacketSample> = Vec::new();
+        let mut faders: Vec<Option<FadingProcess>> = (0..self.nodes.len())
+            .map(|_| {
+                self.cfg
+                    .fading
+                    .map(|f| FadingProcess::new(Rician::new(Db::new(f.k_db)), f.rho, &mut rng))
+            })
+            .collect();
+
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::ZERO + self.cfg.step, Event::Step);
+        for (i, n) in self.nodes.iter().enumerate() {
+            // Stagger starts to avoid artificial phase alignment, and
+            // honor the node's activity window (churn).
+            let offset = n.packet_interval() * (i as f64 / self.nodes.len() as f64);
+            q.schedule_at(n.active_from.max(offset), Event::Packet(i));
+        }
+
+        while let Some((t, ev)) = q.pop() {
+            if t > self.cfg.duration {
+                break;
+            }
+            match ev {
+                Event::Step => {
+                    for w in walkers.iter_mut() {
+                        w.step(&self.room, self.cfg.step.value(), &mut rng);
+                    }
+                    if let Some(p) = pacer.as_mut() {
+                        p.step(self.cfg.step.value());
+                    }
+                    q.schedule_in(self.cfg.step, Event::Step);
+                }
+                Event::Packet(i) => {
+                    if !self.nodes[i].is_active(t) {
+                        // The node has left; silence its interference.
+                        rx[i] = DbmPower::ZERO_POWER;
+                        continue;
+                    }
+                    let current = blockers(&walkers, &pacer);
+                    let (p, ch) = self.rx_power(i, &current);
+                    let (p, ch) = match faders[i].as_mut() {
+                        Some(f) => {
+                            let faded = f.step(&ch, &mut rng);
+                            let mark = faded.gain(faded.stronger_beam());
+                            (
+                                self.nodes[i].front_end().antenna_power()
+                                    - self.cfg.implementation_loss
+                                    + mark,
+                                faded,
+                            )
+                        }
+                        None => (p, ch),
+                    };
+                    rx[i] = p - backoff[i];
+                    seps[i] = ch.level_separation();
+                    let sinr = self.sinr(i, &slots, &rx, &aoa, bandwidth, used_sdm);
+                    sinr_sum[i] += sinr.value();
+                    sinr_min[i] = sinr_min[i].min(sinr.value());
+                    sent[i] += 1;
+
+                    let air_bits = self.nodes[i].packet_air_bits();
+                    // Decision SNR: the channel-band SINR plus the
+                    // processing gain of running the symbols slower than
+                    // the channel width (zero for a demand-matched
+                    // channel; positive under rate adaptation).
+                    let proc_gain =
+                        Db::new(10.0 * (bandwidth.hz() / (1.25 * rates[i].bps())).log10())
+                            .max(Db::ZERO);
+                    let ber = joint_ber(sinr + proc_gain, seps[i], Db::new(2.0));
+                    let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
+                    let airtime = self.nodes[i].packet_airtime(rates[i]);
+                    meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
+                    let ok = rng.gen::<f64>() >= per;
+                    if ok {
+                        delivered[i] += 1;
+                        meters[i].record_delivered(self.nodes[i].payload_bytes as u64 * 8);
+                    }
+                    if self.cfg.record_trace {
+                        trace.push(PacketSample {
+                            t,
+                            node: i,
+                            sinr_db: sinr.value(),
+                            delivered: ok,
+                        });
+                    }
+                    q.schedule_in(self.nodes[i].packet_interval(), Event::Packet(i));
+                }
+            }
+        }
+
+        let reports = (0..self.nodes.len())
+            .map(|i| NodeReport {
+                id: self.nodes[i].id,
+                sent: sent[i],
+                delivered: delivered[i],
+                mean_sinr_db: if sent[i] > 0 {
+                    sinr_sum[i] / sent[i] as f64
+                } else {
+                    f64::NAN
+                },
+                min_sinr_db: sinr_min[i],
+                per: if sent[i] > 0 {
+                    1.0 - delivered[i] as f64 / sent[i] as f64
+                } else {
+                    0.0
+                },
+                goodput_bps: delivered[i] as f64 * self.nodes[i].payload_bytes as f64 * 8.0
+                    / self.cfg.duration.value(),
+                energy_j: meters[i].joules(),
+                nj_per_bit: meters[i].nj_per_bit(),
+                slot: slots[i],
+            })
+            .collect();
+        Ok(NetworkReport {
+            nodes: reports,
+            used_sdm,
+            duration: self.cfg.duration,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_channel::response::Pose;
+    use mmx_channel::room::Material;
+    use mmx_channel::Vec2;
+
+    fn room() -> Room {
+        Room::rectangular(6.0, 4.0, Material::Drywall)
+    }
+
+    fn ap() -> ApStation {
+        ApStation::with_tma(
+            Pose::new(Vec2::new(5.7, 2.0), Degrees::new(180.0)),
+            8,
+            Hertz::from_mhz(1.0),
+        )
+    }
+
+    fn sim_with_nodes(n: usize) -> NetworkSim {
+        let mut cfg = SimConfig::standard();
+        cfg.duration = Seconds::new(0.5);
+        let mut sim = NetworkSim::new(room(), ap(), cfg);
+        // Nodes on an arc around the AP spanning its field of view, like
+        // the random placements of §9.5.
+        let ap_pos = Vec2::new(5.7, 2.0);
+        for i in 0..n {
+            let frac = (i as f64 + 0.5) / n as f64;
+            let bearing = Degrees::new(180.0 - 35.0 + 70.0 * frac);
+            let radius = 3.2 + 1.3 * ((i * 7) % 3) as f64 / 2.0;
+            let mut pos = ap_pos + Vec2::from_bearing(bearing) * radius;
+            pos.x = pos.x.clamp(0.3, 5.4);
+            pos.y = pos.y.clamp(0.3, 3.7);
+            let pose = Pose::facing_toward(pos, ap_pos);
+            sim.add_node(NodeStation::hd_camera(i as u8, pose));
+        }
+        sim
+    }
+
+    #[test]
+    fn single_node_delivers_everything() {
+        let report = sim_with_nodes(1).run().expect("runs");
+        assert!(!report.used_sdm);
+        let n = &report.nodes[0];
+        assert!(n.sent > 0);
+        assert_eq!(n.delivered, n.sent, "PER = {}", n.per);
+        assert!(n.mean_sinr_db > 20.0, "SINR = {}", n.mean_sinr_db);
+    }
+
+    #[test]
+    fn five_nodes_fit_in_fdm() {
+        // No walkers: a deterministic check that FDM keeps every node
+        // clean. (Blockage effects are exercised separately below.)
+        let mut sim = sim_with_nodes(5);
+        sim.cfg.walkers = 0;
+        let report = sim.run().expect("runs");
+        assert!(!report.used_sdm);
+        for n in &report.nodes {
+            assert!(n.per < 0.05, "node {} PER = {}", n.id, n.per);
+        }
+    }
+
+    #[test]
+    fn twenty_nodes_need_sdm_and_survive() {
+        // 20 × 12.5 MHz channels exceed 250 MHz → SDM path.
+        let report = sim_with_nodes(20).run().expect("runs");
+        assert!(report.used_sdm);
+        assert!(
+            report.mean_sinr_db() > 15.0,
+            "mean SINR = {}",
+            report.mean_sinr_db()
+        );
+    }
+
+    #[test]
+    fn more_nodes_less_sinr() {
+        let one = sim_with_nodes(1).run().unwrap().mean_sinr_db();
+        let twenty = sim_with_nodes(20).run().unwrap().mean_sinr_db();
+        assert!(twenty < one, "1 node {one} dB vs 20 nodes {twenty} dB");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sim_with_nodes(3).run().unwrap();
+        let b = sim_with_nodes(3).run().unwrap();
+        assert_eq!(a.mean_sinr_db(), b.mean_sinr_db());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.sent, y.sent);
+            assert_eq!(x.delivered, y.delivered);
+        }
+    }
+
+    #[test]
+    fn energy_efficiency_reported() {
+        let report = sim_with_nodes(1).run().unwrap();
+        let nj = report.nodes[0].nj_per_bit.expect("delivered bits");
+        // A 10 Mbps camera on a ~10 Mbps PHY stays ~always on: ~110
+        // nJ/bit plus overheads.
+        assert!((50.0..500.0).contains(&nj), "nj/bit = {nj}");
+    }
+
+    #[test]
+    fn goodput_approaches_demand() {
+        let report = sim_with_nodes(2).run().unwrap();
+        for n in &report.nodes {
+            assert!(
+                n.goodput_bps > 8e6,
+                "node {} goodput = {}",
+                n.id,
+                n.goodput_bps
+            );
+        }
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let sim = NetworkSim::new(room(), ap(), SimConfig::standard());
+        assert_eq!(sim.run().err(), Some(SimError::Empty));
+    }
+
+    #[test]
+    fn sdm_without_tma_fails_gracefully() {
+        let mut cfg = SimConfig::standard();
+        cfg.duration = Seconds::new(0.2);
+        let mut sim = NetworkSim::new(
+            room(),
+            ApStation::dipole(Pose::new(Vec2::new(5.7, 2.0), Degrees::new(180.0))),
+            cfg,
+        );
+        for i in 0..20 {
+            let pos = Vec2::new(0.5 + 0.2 * i as f64, 1.0);
+            sim.add_node(NodeStation::hd_camera(
+                i as u8,
+                Pose::facing_toward(pos, Vec2::new(5.7, 2.0)),
+            ));
+        }
+        assert!(matches!(sim.run(), Err(SimError::Sdm(_))));
+    }
+
+    #[test]
+    fn second_order_reflections_help_in_metal_rooms() {
+        // A metal cabin with the LoS blocked: two-bounce paths add real
+        // energy (each bounce only ~6 dB there).
+        let run = |second: bool| {
+            let mut cfg = SimConfig::standard();
+            cfg.duration = Seconds::from_millis(200.0);
+            cfg.walkers = 0;
+            cfg.pacing_blocker = true;
+            cfg.second_order_reflections = second;
+            let room = Room::rectangular(4.8, 1.9, mmx_channel::room::Material::Metal);
+            let ap = ApStation::dipole(Pose::new(Vec2::new(4.3, 0.95), Degrees::new(180.0)));
+            let mut sim = NetworkSim::new(room, ap, cfg);
+            let pose = Pose::facing_toward(Vec2::new(0.3, 0.95), Vec2::new(4.3, 0.95));
+            sim.add_node(NodeStation::hd_camera(0, pose));
+            sim.run().unwrap().nodes[0].mean_sinr_db
+        };
+        let single = run(false);
+        let double = run(true);
+        // More paths ⇒ more (incoherently expected) energy; allow for
+        // coherent wiggle but demand no catastrophic regression.
+        assert!(
+            double > single - 3.0,
+            "second-order hurt: {double} vs {single}"
+        );
+    }
+
+    #[test]
+    fn rate_adaptation_rescues_weak_nodes() {
+        // Put one camera at the far corner behind the desk with a
+        // pacing blocker: fixed-rate PER suffers; adaptation trades rate
+        // for reliability.
+        let build = |adapt: bool| {
+            let mut cfg = SimConfig::standard();
+            cfg.duration = Seconds::new(2.0);
+            cfg.walkers = 0;
+            cfg.pacing_blocker = true;
+            cfg.rate_adaptation = adapt;
+            cfg.seed = 9;
+            let mut sim = NetworkSim::new(Room::paper_lab(), ap(), cfg);
+            let pose = Pose::facing_toward(Vec2::new(0.4, 3.6), Vec2::new(5.7, 2.0));
+            sim.add_node(NodeStation::hd_camera(0, pose));
+            sim
+        };
+        let fixed = build(false).run().unwrap().nodes[0].per;
+        let adapted = build(true).run().unwrap().nodes[0].per;
+        assert!(
+            adapted <= fixed,
+            "adaptation worsened PER: {adapted} vs {fixed}"
+        );
+    }
+
+    #[test]
+    fn churned_node_stops_and_frees_the_medium() {
+        // Two co-channel-ish nodes; node 1 leaves halfway. Node 0's
+        // later packets must see the interferer gone.
+        let mut sim = sim_with_nodes(2);
+        sim.cfg.walkers = 0;
+        sim.cfg.record_trace = true;
+        sim.cfg.duration = Seconds::new(1.0);
+        sim.nodes[1] = sim.nodes[1]
+            .clone()
+            .with_activity(Seconds::ZERO, Some(Seconds::new(0.5)));
+        let report = sim.run().unwrap();
+        // Node 1 sent roughly half of node 0's packets.
+        let sent0 = report.nodes[0].sent as f64;
+        let sent1 = report.nodes[1].sent as f64;
+        assert!(
+            (sent1 / sent0 - 0.5).abs() < 0.1,
+            "sent0 {sent0}, sent1 {sent1}"
+        );
+        // Node 0's SINR after the departure ≥ before it.
+        let (mut before, mut after) = (Vec::new(), Vec::new());
+        for s in report.trace.iter().filter(|s| s.node == 0) {
+            if s.t < Seconds::new(0.5) {
+                before.push(s.sinr_db);
+            } else {
+                after.push(s.sinr_db);
+            }
+        }
+        let mb = mmx_dsp::stats::mean(&before).unwrap();
+        let ma = mmx_dsp::stats::mean(&after).unwrap();
+        assert!(ma >= mb - 0.1, "before {mb} dB, after {ma} dB");
+    }
+
+    #[test]
+    fn late_joiner_starts_on_time() {
+        let mut sim = sim_with_nodes(1);
+        sim.cfg.walkers = 0;
+        sim.cfg.record_trace = true;
+        sim.cfg.duration = Seconds::new(1.0);
+        sim.nodes[0] = sim.nodes[0].clone().with_activity(Seconds::new(0.4), None);
+        let report = sim.run().unwrap();
+        assert!(report.trace.iter().all(|s| s.t >= Seconds::new(0.4)));
+        assert!(report.nodes[0].sent > 0);
+    }
+
+    #[test]
+    fn trace_records_every_packet() {
+        let mut sim = sim_with_nodes(2);
+        sim.cfg.record_trace = true;
+        sim.cfg.walkers = 0;
+        let report = sim.run().unwrap();
+        let total: u64 = report.nodes.iter().map(|n| n.sent).sum();
+        assert_eq!(report.trace.len() as u64, total);
+        // Timestamps are non-decreasing and node ids valid.
+        for w in report.trace.windows(2) {
+            assert!(w[1].t >= w[0].t);
+        }
+        assert!(report.trace.iter().all(|s| s.node < 2));
+        let delivered: u64 = report.trace.iter().filter(|s| s.delivered).count() as u64;
+        let reported: u64 = report.nodes.iter().map(|n| n.delivered).sum();
+        assert_eq!(delivered, reported);
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let report = sim_with_nodes(1).run().unwrap();
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn fading_adds_sinr_spread() {
+        let run = |fading| {
+            let mut sim = sim_with_nodes(1);
+            sim.cfg.walkers = 0;
+            sim.cfg.record_trace = true;
+            sim.cfg.fading = fading;
+            let report = sim.run().unwrap();
+            let sinrs: Vec<f64> = report.trace.iter().map(|s| s.sinr_db).collect();
+            mmx_dsp::stats::std_dev(&sinrs).unwrap_or(0.0)
+        };
+        let frozen = run(None);
+        let faded = run(Some(FadingConfig::indoor()));
+        assert!(frozen < 0.01, "specular-only spread = {frozen}");
+        assert!(faded > 0.1, "faded spread = {faded}");
+    }
+
+    #[test]
+    fn fading_is_deterministic_per_seed() {
+        let run = || {
+            let mut sim = sim_with_nodes(2);
+            sim.cfg.fading = Some(FadingConfig::indoor());
+            sim.run().unwrap().mean_sinr_db()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pacing_blocker_degrades_minimum_sinr() {
+        let mk = |pacing: bool| {
+            let mut cfg = SimConfig::standard();
+            // Long enough for the pacer to cross the LoS at 1 m/s.
+            cfg.duration = Seconds::new(4.0);
+            cfg.walkers = 0;
+            cfg.pacing_blocker = pacing;
+            let mut sim = NetworkSim::new(room(), ap(), cfg);
+            let pose = Pose::facing_toward(Vec2::new(0.5, 2.0), Vec2::new(5.7, 2.0));
+            sim.add_node(NodeStation::hd_camera(0, pose));
+            sim.run().unwrap().nodes[0].min_sinr_db
+        };
+        let clear = mk(false);
+        let paced = mk(true);
+        assert!(
+            paced < clear,
+            "pacing blocker should hurt: clear {clear} vs paced {paced}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the network layer.
+
+use mmx_antenna::tma::Tma;
+use mmx_net::fdm::BandPlan;
+use mmx_net::interference::adjacent_channel_leakage;
+use mmx_net::sdm::{SdmScheduler, SdmSlot};
+use mmx_net::EventQueue;
+use mmx_units::{BitRate, Degrees, Hertz, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1000.0, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Seconds::new(t), i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.value() >= prev);
+            prev = t.value();
+        }
+    }
+
+    #[test]
+    fn fdm_allocations_always_disjoint(
+        demands_mbps in prop::collection::vec(1.0f64..40.0, 1..8)
+    ) {
+        let plan = BandPlan::ism_24ghz();
+        let demands: Vec<BitRate> = demands_mbps.iter().map(|&m| BitRate::from_mbps(m)).collect();
+        match plan.allocate(&demands) {
+            Ok(chs) => {
+                for i in 0..chs.len() {
+                    prop_assert!(plan.band().contains_band(&chs[i].band()));
+                    prop_assert!(chs[i].width.hz() >= plan.width_for(demands[i]).hz() - 1.0);
+                    for j in i + 1..chs.len() {
+                        prop_assert!(!chs[i].band().overlaps(&chs[j].band()));
+                    }
+                }
+            }
+            Err(_) => {
+                // Exhaustion must only happen when total demand (plus
+                // guards) really exceeds the band.
+                let total: f64 = demands.iter().map(|d| plan.width_for(*d).hz()).sum();
+                prop_assert!(total + (demands.len() as f64 - 1.0) * 1e6 > plan.band().bandwidth().hz());
+            }
+        }
+    }
+
+    #[test]
+    fn sdm_slots_are_unique(
+        aoas in prop::collection::vec(-55.0f64..55.0, 1..20),
+        channels in 3usize..12,
+    ) {
+        let tma = Tma::new(8, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0));
+        let sched = SdmScheduler::new(tma);
+        let dirs: Vec<Degrees> = aoas.iter().map(|&a| Degrees::new(a)).collect();
+        if let Ok(slots) = sched.schedule(&dirs, channels) {
+            for i in 0..slots.len() {
+                prop_assert!(slots[i].channel < channels);
+                for j in i + 1..slots.len() {
+                    prop_assert!(slots[i] != slots[j], "slot collision {i}/{j}");
+                }
+            }
+            prop_assert!(SdmScheduler::reuse_factor(&slots) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sdm_same_harmonic_distinct_channels(
+        base in -40.0f64..40.0,
+        n in 2usize..6,
+    ) {
+        // All nodes in (nearly) the same direction: one harmonic group.
+        let tma = Tma::new(8, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0));
+        let sched = SdmScheduler::new(tma);
+        let dirs: Vec<Degrees> = (0..n).map(|k| Degrees::new(base + k as f64 * 0.01)).collect();
+        let slots = sched.schedule(&dirs, n).expect("fits");
+        let mut chans: Vec<usize> = slots.iter().map(|s: &SdmSlot| s.channel).collect();
+        chans.sort_unstable();
+        chans.dedup();
+        prop_assert_eq!(chans.len(), n);
+    }
+
+    #[test]
+    fn acl_monotone(k in 0usize..10) {
+        prop_assert!(adjacent_channel_leakage(k + 1) <= adjacent_channel_leakage(k));
+        prop_assert!(adjacent_channel_leakage(k).value() <= 0.0);
+    }
+}

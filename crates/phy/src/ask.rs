@@ -1,0 +1,182 @@
+//! Amplitude-shift keying: modulation and envelope demodulation.
+//!
+//! ASK is one half of mmX's joint modulation (§5). In the *baseline*
+//! configuration ("without OTAM", §9.2 scenario 1) the node modulates the
+//! carrier amplitude itself and transmits through Beam 1 only; with OTAM
+//! the channel produces the amplitude levels instead, but the receiver
+//! side below is identical in both cases.
+
+use mmx_dsp::envelope::{magnitude, per_symbol_mean, smooth, Slicer};
+use mmx_dsp::{Complex, IqBuffer};
+use mmx_units::Hertz;
+
+/// ASK modulation/demodulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AskConfig {
+    /// Samples per symbol.
+    pub samples_per_symbol: usize,
+    /// Envelope smoothing window as a fraction of a symbol (0 disables).
+    pub smooth_fraction: f64,
+    /// Amplitude transmitted for bit 1 (modulator only).
+    pub high_amp: f64,
+    /// Amplitude transmitted for bit 0 (modulator only; 0.0 = OOK).
+    pub low_amp: f64,
+}
+
+impl AskConfig {
+    /// A sensible default: 8 samples/symbol, quarter-symbol smoothing,
+    /// OOK levels.
+    pub fn default_ook(samples_per_symbol: usize) -> Self {
+        assert!(samples_per_symbol >= 2, "need at least 2 samples/symbol");
+        AskConfig {
+            samples_per_symbol,
+            smooth_fraction: 0.25,
+            high_amp: 1.0,
+            low_amp: 0.0,
+        }
+    }
+}
+
+/// Modulates bits onto a complex tone at `tone` offset: amplitude
+/// `high_amp` for 1, `low_amp` for 0.
+pub fn modulate(cfg: &AskConfig, bits: &[bool], tone: Hertz, sample_rate: Hertz) -> IqBuffer {
+    let sps = cfg.samples_per_symbol;
+    let w = 2.0 * std::f64::consts::PI * tone.hz() / sample_rate.hz();
+    let mut out = IqBuffer::empty(sample_rate);
+    let mut n = 0usize;
+    for &bit in bits {
+        let amp = if bit { cfg.high_amp } else { cfg.low_amp };
+        for _ in 0..sps {
+            out.push(Complex::from_polar(amp, w * n as f64));
+            n += 1;
+        }
+    }
+    out
+}
+
+/// Per-symbol envelope means of a received buffer (the ASK decision
+/// variable).
+pub fn symbol_envelopes(cfg: &AskConfig, buf: &IqBuffer) -> Vec<f64> {
+    let env = magnitude(buf.samples());
+    let win = ((cfg.samples_per_symbol as f64 * cfg.smooth_fraction) as usize).max(1);
+    let sm = if win > 1 { smooth(&env, win) } else { env };
+    per_symbol_mean(&sm, cfg.samples_per_symbol)
+}
+
+/// Demodulates a symbol-aligned buffer whose first
+/// `preamble_bits.len()` symbols carry the known preamble.
+///
+/// Returns the decoded *payload* bits (everything after the preamble) and
+/// the learned slicer, or `None` when the preamble cannot train a slicer
+/// (degenerate levels).
+pub fn demodulate(
+    cfg: &AskConfig,
+    buf: &IqBuffer,
+    preamble_bits: &[bool],
+) -> Option<(Vec<bool>, Slicer)> {
+    let sym = symbol_envelopes(cfg, buf);
+    if sym.len() < preamble_bits.len() {
+        return None;
+    }
+    let slicer = Slicer::learn(&sym[..preamble_bits.len()], preamble_bits)?;
+    let bits = slicer.decide_all(&sym[preamble_bits.len()..]);
+    Some((bits, slicer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_dsp::awgn::AwgnSource;
+    use mmx_units::Db;
+    use rand::SeedableRng;
+
+    fn fs() -> Hertz {
+        Hertz::from_mhz(25.0)
+    }
+
+    fn cfg() -> AskConfig {
+        AskConfig::default_ook(10)
+    }
+
+    fn preamble() -> Vec<bool> {
+        crate::packet::PREAMBLE.to_vec()
+    }
+
+    fn tx_bits() -> Vec<bool> {
+        let mut b = preamble();
+        b.extend([
+            true, false, false, true, true, true, false, true, false, false,
+        ]);
+        b
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let buf = modulate(&cfg(), &tx_bits(), Hertz::from_mhz(1.0), fs());
+        let (bits, slicer) = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(bits, &tx_bits()[32..]);
+        assert!(!slicer.is_ambiguous(1.26));
+    }
+
+    #[test]
+    fn roundtrip_with_nonzero_low_level() {
+        // The paper's ASK has a low (not zero) level for bit 0.
+        let mut c = cfg();
+        c.low_amp = 0.3;
+        let buf = modulate(&c, &tx_bits(), Hertz::from_mhz(1.0), fs());
+        let (bits, _) = demodulate(&c, &buf, &preamble()).expect("demod");
+        assert_eq!(bits, &tx_bits()[32..]);
+    }
+
+    #[test]
+    fn survives_20db_snr() {
+        let buf0 = modulate(&cfg(), &tx_bits(), Hertz::from_mhz(1.0), fs());
+        let mut buf = buf0.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // Unit high amplitude, mean power ~0.5 (OOK); SNR vs mark power.
+        AwgnSource::for_unit_signal_snr(Db::new(20.0)).add_to(&mut buf, &mut rng);
+        let (bits, _) = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(bits, &tx_bits()[32..]);
+    }
+
+    #[test]
+    fn inverted_channel_still_decodes() {
+        // Simulate the blocked-LoS case: the channel maps bit 1 to the
+        // *weaker* envelope. With level-learning this must still decode.
+        let mut c = cfg();
+        c.high_amp = 0.2; // transmitted 1 arrives weak
+        c.low_amp = 1.0; // transmitted 0 arrives strong
+        let buf = modulate(&c, &tx_bits(), Hertz::from_mhz(1.0), fs());
+        let (bits, slicer) = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(bits, &tx_bits()[32..]);
+        assert!(slicer.high < slicer.low);
+    }
+
+    #[test]
+    fn too_short_buffer_returns_none() {
+        let buf = modulate(&cfg(), &preamble()[..8], Hertz::from_mhz(1.0), fs());
+        assert!(demodulate(&cfg(), &buf, &preamble()).is_none());
+    }
+
+    #[test]
+    fn equal_levels_cannot_train() {
+        let mut c = cfg();
+        c.low_amp = 1.0; // both levels identical → ambiguous preamble
+        let buf = modulate(&c, &tx_bits(), Hertz::from_mhz(1.0), fs());
+        let (_, slicer) = demodulate(&cfg(), &buf, &preamble()).expect("slicer trains");
+        assert!(slicer.is_ambiguous(1.02));
+    }
+
+    #[test]
+    fn symbol_envelope_count() {
+        let buf = modulate(&cfg(), &tx_bits(), Hertz::from_mhz(1.0), fs());
+        assert_eq!(symbol_envelopes(&cfg(), &buf).len(), tx_bits().len());
+    }
+
+    #[test]
+    fn modulated_power_reflects_duty_cycle() {
+        let bits = vec![true, false, true, false];
+        let buf = modulate(&cfg(), &bits, Hertz::from_mhz(1.0), fs());
+        assert!((buf.mean_power() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bit/byte plumbing: packing, unpacking, error counting.
+
+/// Unpacks bytes into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            out.push((b >> i) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Packs bits into bytes, MSB first. The bit count must be a multiple of
+/// eight.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a multiple of 8"
+    );
+    bits.chunks(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+        .collect()
+}
+
+/// Number of positions where the two bit sequences differ; compares up to
+/// the shorter length and counts the length mismatch as errors.
+pub fn hamming_distance(a: &[bool], b: &[bool]) -> usize {
+    let common = a.len().min(b.len());
+    let diff = a[..common]
+        .iter()
+        .zip(&b[..common])
+        .filter(|(x, y)| x != y)
+        .count();
+    diff + a.len().max(b.len()) - common
+}
+
+/// Bit error rate between transmitted and received sequences.
+pub fn bit_error_rate(tx: &[bool], rx: &[bool]) -> f64 {
+    if tx.is_empty() && rx.is_empty() {
+        return 0.0;
+    }
+    hamming_distance(tx, rx) as f64 / tx.len().max(rx.len()) as f64
+}
+
+/// Inverts every bit (the OTAM blocked-LoS polarity flip).
+pub fn invert(bits: &[bool]) -> Vec<bool> {
+    bits.iter().map(|b| !b).collect()
+}
+
+/// CRC-16-CCITT (polynomial 0x1021, init 0xFFFF) over bytes.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over bytes.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes_bits() {
+        let data = vec![0x00, 0xFF, 0xA5, 0x3C, 0x01];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn msb_first_ordering() {
+        let bits = bytes_to_bits(&[0b1000_0001]);
+        assert!(bits[0]);
+        assert!(!bits[1]);
+        assert!(bits[7]);
+    }
+
+    #[test]
+    fn hamming_distance_basics() {
+        let a = [true, false, true];
+        let b = [true, true, true];
+        assert_eq!(hamming_distance(&a, &b), 1);
+        assert_eq!(hamming_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn length_mismatch_counts_as_errors() {
+        let a = [true, true, true, true];
+        let b = [true, true];
+        assert_eq!(hamming_distance(&a, &b), 2);
+        assert_eq!(bit_error_rate(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn ber_of_inverted_stream_is_one() {
+        let a = [true, false, true, false];
+        assert_eq!(bit_error_rate(&a, &invert(&a)), 1.0);
+        assert_eq!(bit_error_rate(&a, &a), 0.0);
+        assert_eq!(bit_error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let data = b"mmX packet payload".to_vec();
+        let base16 = crc16(&data);
+        let base32 = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc16(&corrupted), base16, "crc16 missed flip");
+                assert_ne!(crc32(&corrupted), base32, "crc32 missed flip");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn ragged_bits_rejected() {
+        let _ = bits_to_bytes(&[true, false, true]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Channel coding — the extension §9.3 points at.
+//!
+//! "This physical BER is acceptable for most wireless applications and it
+//! can be reduced even further by using an error correction coding
+//! scheme." We implement two schemes a low-cost IoT controller could
+//! actually run, plus a block interleaver to break up blockage-induced
+//! error bursts:
+//!
+//! * [`hamming`] — Hamming(7,4): corrects one error per 7-bit codeword.
+//! * [`convolutional`] — rate-1/2, K=7 (171,133)₈ convolutional code with
+//!   hard-decision Viterbi decoding — the classic NASA/802.11 code.
+//! * [`Interleaver`] — a rows×cols block interleaver.
+
+/// Hamming(7,4): 4 data bits → 7 coded bits, single-error correction.
+pub mod hamming {
+    /// Encodes a nibble (`d[0..4]`) into a 7-bit codeword
+    /// `[p1, p2, d1, p3, d2, d3, d4]` (standard positions).
+    pub fn encode_nibble(d: [bool; 4]) -> [bool; 7] {
+        let p1 = d[0] ^ d[1] ^ d[3];
+        let p2 = d[0] ^ d[2] ^ d[3];
+        let p3 = d[1] ^ d[2] ^ d[3];
+        [p1, p2, d[0], p3, d[1], d[2], d[3]]
+    }
+
+    /// Decodes a 7-bit codeword, correcting up to one flipped bit.
+    /// Returns the data nibble and whether a correction was applied.
+    pub fn decode_codeword(mut c: [bool; 7]) -> ([bool; 4], bool) {
+        let s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+        let s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+        let s3 = c[3] ^ c[4] ^ c[5] ^ c[6];
+        let syndrome = (s1 as usize) | ((s2 as usize) << 1) | ((s3 as usize) << 2);
+        let corrected = syndrome != 0;
+        if corrected {
+            c[syndrome - 1] = !c[syndrome - 1];
+        }
+        ([c[2], c[4], c[5], c[6]], corrected)
+    }
+
+    /// Encodes a bit stream (padded with zeros to a multiple of 4).
+    pub fn encode(bits: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(bits.len().div_ceil(4) * 7);
+        for chunk in bits.chunks(4) {
+            let mut d = [false; 4];
+            d[..chunk.len()].copy_from_slice(chunk);
+            out.extend_from_slice(&encode_nibble(d));
+        }
+        out
+    }
+
+    /// Decodes a coded stream (length must be a multiple of 7); the
+    /// zero padding added by [`encode`] is *not* stripped (the caller
+    /// knows the payload length).
+    pub fn decode(coded: &[bool]) -> Vec<bool> {
+        assert!(
+            coded.len().is_multiple_of(7),
+            "coded length must be a multiple of 7"
+        );
+        let mut out = Vec::with_capacity(coded.len() / 7 * 4);
+        for chunk in coded.chunks_exact(7) {
+            let mut c = [false; 7];
+            c.copy_from_slice(chunk);
+            let (d, _) = decode_codeword(c);
+            out.extend_from_slice(&d);
+        }
+        out
+    }
+}
+
+/// Rate-1/2, K=7 convolutional code (generators 171/133 octal) with
+/// hard-decision Viterbi decoding.
+pub mod convolutional {
+    const K: usize = 7;
+    const STATES: usize = 1 << (K - 1); // 64
+    const G1: u32 = 0o171;
+    const G2: u32 = 0o133;
+
+    fn parity(x: u32) -> bool {
+        x.count_ones() % 2 == 1
+    }
+
+    /// Output bit pair for (state, input).
+    fn outputs(state: u32, input: bool) -> (bool, bool) {
+        let reg = ((input as u32) << (K - 1)) | state;
+        (parity(reg & G1), parity(reg & G2))
+    }
+
+    fn next_state(state: u32, input: bool) -> u32 {
+        (((input as u32) << (K - 1)) | state) >> 1
+    }
+
+    /// Encodes bits, appending `K−1` zero tail bits to flush the encoder.
+    pub fn encode(bits: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity((bits.len() + K - 1) * 2);
+        let mut state = 0u32;
+        for &b in bits.iter().chain(std::iter::repeat_n(&false, K - 1)) {
+            let (o1, o2) = outputs(state, b);
+            out.push(o1);
+            out.push(o2);
+            state = next_state(state, b);
+        }
+        out
+    }
+
+    /// Hard-decision Viterbi decoding. `coded` must have even length;
+    /// returns the data bits with the zero tail stripped.
+    pub fn decode(coded: &[bool]) -> Vec<bool> {
+        assert!(coded.len().is_multiple_of(2), "coded length must be even");
+        let steps = coded.len() / 2;
+        if steps < K {
+            return Vec::new();
+        }
+        const INF: u32 = u32::MAX / 2;
+        let mut metric = vec![INF; STATES];
+        metric[0] = 0;
+        // survivors[t][s] = (previous state, input bit)
+        let mut survivors: Vec<Vec<(u16, bool)>> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let r1 = coded[2 * t];
+            let r2 = coded[2 * t + 1];
+            let mut next = vec![INF; STATES];
+            let mut surv = vec![(0u16, false); STATES];
+            for s in 0..STATES as u32 {
+                if metric[s as usize] >= INF {
+                    continue;
+                }
+                for input in [false, true] {
+                    let (o1, o2) = outputs(s, input);
+                    let cost = (o1 != r1) as u32 + (o2 != r2) as u32;
+                    let ns = next_state(s, input) as usize;
+                    let m = metric[s as usize] + cost;
+                    if m < next[ns] {
+                        next[ns] = m;
+                        surv[ns] = (s as u16, input);
+                    }
+                }
+            }
+            metric = next;
+            survivors.push(surv);
+        }
+        // The tail forces the encoder back to state 0.
+        let mut state = 0usize;
+        let mut bits_rev = Vec::with_capacity(steps);
+        for t in (0..steps).rev() {
+            let (prev, input) = survivors[t][state];
+            bits_rev.push(input);
+            state = prev as usize;
+        }
+        bits_rev.reverse();
+        bits_rev.truncate(steps - (K - 1)); // strip the tail
+        bits_rev
+    }
+}
+
+/// A rows × cols block interleaver: writes row-wise, reads column-wise.
+/// Spreading a burst of `b ≤ rows` consecutive errors across `b`
+/// different codewords.
+#[derive(Debug, Clone, Copy)]
+pub struct Interleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver. Panics on degenerate dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "degenerate interleaver");
+        Interleaver { rows, cols }
+    }
+
+    /// Block size in bits.
+    pub fn block_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Interleaves exactly one block.
+    pub fn interleave(&self, bits: &[bool]) -> Vec<bool> {
+        assert_eq!(bits.len(), self.block_len(), "block size mismatch");
+        let mut out = Vec::with_capacity(bits.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(bits[r * self.cols + c]);
+            }
+        }
+        out
+    }
+
+    /// Inverts [`interleave`](Self::interleave).
+    pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
+        assert_eq!(bits.len(), self.block_len(), "block size mismatch");
+        let mut out = vec![false; bits.len()];
+        let mut i = 0;
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out[r * self.cols + c] = bits[i];
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn hamming_roundtrip_clean() {
+        let bits = random_bits(64, 1);
+        let coded = hamming::encode(&bits);
+        assert_eq!(coded.len(), 64 / 4 * 7);
+        assert_eq!(hamming::decode(&coded), bits);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error_per_codeword() {
+        let bits = random_bits(16, 2);
+        let coded = hamming::encode(&bits);
+        for i in 0..coded.len() {
+            let mut corrupted = coded.clone();
+            corrupted[i] = !corrupted[i];
+            assert_eq!(hamming::decode(&corrupted), bits, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn hamming_double_error_in_one_codeword_fails() {
+        let bits = random_bits(4, 3);
+        let coded = hamming::encode(&bits);
+        let mut corrupted = coded.clone();
+        corrupted[0] = !corrupted[0];
+        corrupted[3] = !corrupted[3];
+        assert_ne!(hamming::decode(&corrupted), bits);
+    }
+
+    #[test]
+    fn hamming_pads_short_blocks() {
+        let bits = vec![true, false, true]; // 3 bits → padded to 4
+        let coded = hamming::encode(&bits);
+        assert_eq!(coded.len(), 7);
+        let decoded = hamming::decode(&coded);
+        assert_eq!(&decoded[..3], &bits[..]);
+        assert!(!decoded[3]); // the pad bit
+    }
+
+    #[test]
+    fn conv_roundtrip_clean() {
+        let bits = random_bits(200, 4);
+        let coded = convolutional::encode(&bits);
+        assert_eq!(coded.len(), (200 + 6) * 2);
+        assert_eq!(convolutional::decode(&coded), bits);
+    }
+
+    #[test]
+    fn conv_corrects_scattered_errors() {
+        let bits = random_bits(300, 5);
+        let mut coded = convolutional::encode(&bits);
+        // Flip ~2% of coded bits, well separated (free distance 10).
+        let mut i = 7;
+        while i < coded.len() {
+            coded[i] = !coded[i];
+            i += 53;
+        }
+        assert_eq!(convolutional::decode(&coded), bits);
+    }
+
+    #[test]
+    fn conv_dense_burst_defeats_it_without_interleaving() {
+        let bits = random_bits(200, 6);
+        let mut coded = convolutional::encode(&bits);
+        for b in coded.iter_mut().skip(40).take(30) {
+            *b = !*b;
+        }
+        assert_ne!(convolutional::decode(&coded), bits);
+    }
+
+    #[test]
+    fn interleaver_roundtrip() {
+        let il = Interleaver::new(8, 16);
+        let bits = random_bits(il.block_len(), 7);
+        assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn interleaving_spreads_bursts() {
+        let il = Interleaver::new(8, 16);
+        let bits = vec![false; il.block_len()];
+        let mut tx = il.interleave(&bits);
+        // An 8-bit channel burst...
+        for b in tx.iter_mut().skip(24).take(8) {
+            *b = true;
+        }
+        let rx = il.deinterleave(&tx);
+        // ...lands in 8 different rows: no two errors within any
+        // 9-bit window of the deinterleaved stream.
+        let err_pos: Vec<usize> = rx
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(err_pos.len(), 8);
+        for w in err_pos.windows(2) {
+            assert!(w[1] - w[0] > 8, "errors too close: {err_pos:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_conv_survives_burst() {
+        // The combination the paper's extension implies: convolutional
+        // code + interleaver rides out a blockage burst.
+        let bits = random_bits(200, 8);
+        let coded = convolutional::encode(&bits); // 412 bits
+        let il = Interleaver::new(4, 103);
+        let mut tx = il.interleave(&coded);
+        for b in tx.iter_mut().skip(100).take(4) {
+            *b = !*b;
+        }
+        let rx = il.deinterleave(&tx);
+        assert_eq!(convolutional::decode(&rx), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 7")]
+    fn hamming_ragged_rejected() {
+        let _ = hamming::decode(&[true; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn interleaver_wrong_block_rejected() {
+        let il = Interleaver::new(4, 4);
+        let _ = il.interleave(&[true; 10]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Binary frequency-shift keying with a Goertzel discriminator.
+//!
+//! The other half of mmX's joint modulation (§6.3): Beam 0 and Beam 1
+//! transmit slightly different carrier frequencies (a small VCO control-
+//! voltage nudge), so that when both beams happen to arrive with the same
+//! amplitude, the AP can still decode by comparing the energies at the
+//! two tone offsets.
+
+use mmx_dsp::goertzel::Goertzel;
+use mmx_dsp::{Complex, IqBuffer};
+use mmx_units::Hertz;
+
+/// FSK parameters: the two tone offsets (complex-baseband frequencies
+/// after down-conversion) and the symbol length.
+#[derive(Debug, Clone, Copy)]
+pub struct FskConfig {
+    /// Tone transmitted for bit 0.
+    pub f0: Hertz,
+    /// Tone transmitted for bit 1.
+    pub f1: Hertz,
+    /// Samples per symbol.
+    pub samples_per_symbol: usize,
+}
+
+impl FskConfig {
+    /// Tones at ±`deviation`/2 around DC.
+    pub fn centered(deviation: Hertz, samples_per_symbol: usize) -> Self {
+        assert!(deviation.hz() > 0.0, "deviation must be positive");
+        assert!(samples_per_symbol >= 2, "need at least 2 samples/symbol");
+        FskConfig {
+            f0: Hertz::new(-deviation.hz() / 2.0),
+            f1: Hertz::new(deviation.hz() / 2.0),
+            samples_per_symbol,
+        }
+    }
+
+    /// The tone for a bit value.
+    pub fn tone(&self, bit: bool) -> Hertz {
+        if bit {
+            self.f1
+        } else {
+            self.f0
+        }
+    }
+}
+
+/// Modulates bits as a phase-continuous switched-tone waveform.
+pub fn modulate(cfg: &FskConfig, bits: &[bool], sample_rate: Hertz) -> IqBuffer {
+    let mut out = IqBuffer::empty(sample_rate);
+    let mut phase = 0.0f64;
+    for &bit in bits {
+        let w = 2.0 * std::f64::consts::PI * cfg.tone(bit).hz() / sample_rate.hz();
+        for _ in 0..cfg.samples_per_symbol {
+            out.push(Complex::cis(phase));
+            phase += w;
+        }
+    }
+    out
+}
+
+/// Demodulates a symbol-aligned buffer by comparing Goertzel energies at
+/// the two tones, symbol by symbol.
+pub fn demodulate(cfg: &FskConfig, buf: &IqBuffer) -> Vec<bool> {
+    let g0 = Goertzel::new(cfg.f0, buf.sample_rate());
+    let g1 = Goertzel::new(cfg.f1, buf.sample_rate());
+    buf.samples()
+        .chunks_exact(cfg.samples_per_symbol)
+        .map(|sym| g1.energy(sym) > g0.energy(sym))
+        .collect()
+}
+
+/// Per-symbol discrimination margin: `E1 − E0` normalized by the total,
+/// in `[-1, 1]`. Useful for soft decisions and diagnostics.
+pub fn discrimination(cfg: &FskConfig, buf: &IqBuffer) -> Vec<f64> {
+    let g0 = Goertzel::new(cfg.f0, buf.sample_rate());
+    let g1 = Goertzel::new(cfg.f1, buf.sample_rate());
+    buf.samples()
+        .chunks_exact(cfg.samples_per_symbol)
+        .map(|sym| {
+            let e0 = g0.energy(sym);
+            let e1 = g1.energy(sym);
+            if e0 + e1 > 0.0 {
+                (e1 - e0) / (e1 + e0)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_dsp::awgn::AwgnSource;
+    use mmx_units::Db;
+    use rand::SeedableRng;
+
+    fn fs() -> Hertz {
+        Hertz::from_mhz(25.0)
+    }
+
+    fn cfg() -> FskConfig {
+        // 2 MHz deviation, 25 samples/symbol (1 Msym/s at 25 MS/s):
+        // exactly ±1 cycle per symbol — orthogonal tones.
+        FskConfig::centered(Hertz::from_mhz(2.0), 25)
+    }
+
+    fn bits() -> Vec<bool> {
+        vec![
+            true, false, true, true, false, false, true, false, true, true, false, true,
+        ]
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let buf = modulate(&cfg(), &bits(), fs());
+        assert_eq!(demodulate(&cfg(), &buf), bits());
+    }
+
+    #[test]
+    fn tones_map_correctly() {
+        let c = cfg();
+        assert_eq!(c.tone(false), c.f0);
+        assert_eq!(c.tone(true), c.f1);
+        assert!((c.f1.hz() - c.f0.hz() - 2e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_continuity() {
+        // No amplitude glitches at symbol boundaries: envelope is 1
+        // everywhere.
+        let buf = modulate(&cfg(), &bits(), fs());
+        for s in buf.samples() {
+            assert!((s.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn survives_10db_snr() {
+        let mut buf = modulate(&cfg(), &bits(), fs());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        AwgnSource::for_unit_signal_snr(Db::new(10.0)).add_to(&mut buf, &mut rng);
+        assert_eq!(demodulate(&cfg(), &buf), bits());
+    }
+
+    #[test]
+    fn amplitude_asymmetric_symbols_still_decode() {
+        // The OTAM case: bit-1 symbols arrive much weaker than bit-0
+        // symbols. FSK does not care.
+        let c = cfg();
+        let mut buf = IqBuffer::empty(fs());
+        for &b in &bits() {
+            let amp = if b { 0.05 } else { 1.0 };
+            let tone = IqBuffer::tone(amp, c.tone(b), c.samples_per_symbol, fs());
+            buf.extend(&tone);
+        }
+        assert_eq!(demodulate(&c, &buf), bits());
+    }
+
+    #[test]
+    fn discrimination_sign_matches_bits() {
+        let buf = modulate(&cfg(), &bits(), fs());
+        let d = discrimination(&cfg(), &buf);
+        assert_eq!(d.len(), bits().len());
+        for (m, b) in d.iter().zip(bits()) {
+            assert_eq!(*m > 0.0, b);
+            assert!(m.abs() > 0.9, "weak margin {m}");
+        }
+    }
+
+    #[test]
+    fn trailing_partial_symbol_ignored() {
+        let mut buf = modulate(&cfg(), &bits(), fs());
+        let extra = IqBuffer::tone(1.0, Hertz::from_mhz(1.0), 7, fs());
+        buf.extend(&extra);
+        assert_eq!(demodulate(&cfg(), &buf).len(), bits().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "deviation")]
+    fn zero_deviation_rejected() {
+        let _ = FskConfig::centered(Hertz::new(0.0), 10);
+    }
+}

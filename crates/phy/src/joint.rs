@@ -1,0 +1,218 @@
+//! Joint ASK–FSK demodulation (§6.3).
+//!
+//! "FSK or ASK alone is not sufficient to decode the signal in all
+//! scenarios": when one beam's path is dead, its tone is missing and only
+//! amplitude works; when both beams arrive with equal loss (<10 % of
+//! placements), amplitude is useless and only frequency works. The joint
+//! demodulator trains an ASK slicer on the preamble and falls back to the
+//! FSK discriminator when the learned levels are too close.
+
+use crate::ask::{symbol_envelopes, AskConfig};
+use crate::fsk::{demodulate as fsk_demodulate, FskConfig};
+use mmx_dsp::envelope::Slicer;
+use mmx_dsp::IqBuffer;
+use mmx_units::Db;
+
+/// Which decision path decoded a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemodPath {
+    /// Envelope slicing (the common case, Fig. 9a).
+    Ask,
+    /// Goertzel tone comparison (the equal-loss corner, Fig. 9b).
+    Fsk,
+}
+
+/// Joint demodulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JointConfig {
+    /// ASK side (symbol geometry + smoothing).
+    pub ask: AskConfig,
+    /// FSK side (tone offsets; must share the symbol geometry).
+    pub fsk: FskConfig,
+    /// Minimum envelope-level separation for trusting ASK.
+    pub min_ask_separation: Db,
+}
+
+impl JointConfig {
+    /// Builds a joint config; panics when the two sides disagree on the
+    /// symbol length.
+    pub fn new(ask: AskConfig, fsk: FskConfig, min_ask_separation: Db) -> Self {
+        assert_eq!(
+            ask.samples_per_symbol, fsk.samples_per_symbol,
+            "ASK and FSK must share the symbol geometry"
+        );
+        JointConfig {
+            ask,
+            fsk,
+            min_ask_separation,
+        }
+    }
+}
+
+/// Joint demodulation result.
+#[derive(Debug, Clone)]
+pub struct JointResult {
+    /// Decoded payload bits (after the preamble).
+    pub bits: Vec<bool>,
+    /// Which path made the decisions.
+    pub used: DemodPath,
+    /// The trained slicer, when ASK training succeeded.
+    pub slicer: Option<Slicer>,
+}
+
+/// Demodulates a symbol-aligned buffer whose first
+/// `preamble_bits.len()` symbols are the known preamble.
+///
+/// Decision rule (§6.3): use ASK when the preamble trains a slicer with
+/// well-separated levels; otherwise use FSK. Returns `None` only when the
+/// buffer is shorter than the preamble.
+pub fn demodulate(
+    cfg: &JointConfig,
+    buf: &IqBuffer,
+    preamble_bits: &[bool],
+) -> Option<JointResult> {
+    let sym = symbol_envelopes(&cfg.ask, buf);
+    demodulate_with_envelopes(cfg, buf, &sym, preamble_bits)
+}
+
+/// Like [`demodulate`], but with caller-supplied per-symbol envelope
+/// decision variables (e.g. matched-tone envelopes from a coherent
+/// software receiver, which gain the full within-symbol integration).
+pub fn demodulate_with_envelopes(
+    cfg: &JointConfig,
+    buf: &IqBuffer,
+    sym: &[f64],
+    preamble_bits: &[bool],
+) -> Option<JointResult> {
+    if sym.len() < preamble_bits.len() {
+        return None;
+    }
+    let slicer = Slicer::learn(&sym[..preamble_bits.len()], preamble_bits);
+    let ask_ok = slicer
+        .map(|s| !s.is_ambiguous(cfg.min_ask_separation.amplitude()))
+        .unwrap_or(false);
+    if ask_ok {
+        let s = slicer.expect("checked above");
+        Some(JointResult {
+            bits: s.decide_all(&sym[preamble_bits.len()..]),
+            used: DemodPath::Ask,
+            slicer,
+        })
+    } else {
+        let all = fsk_demodulate(&cfg.fsk, buf);
+        Some(JointResult {
+            bits: all[preamble_bits.len().min(all.len())..].to_vec(),
+            used: DemodPath::Fsk,
+            slicer,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmx_dsp::{Complex, IqBuffer};
+    use mmx_units::Hertz;
+
+    fn fs() -> Hertz {
+        Hertz::from_mhz(25.0)
+    }
+
+    fn cfg() -> JointConfig {
+        JointConfig::new(
+            AskConfig::default_ook(25),
+            FskConfig::centered(Hertz::from_mhz(2.0), 25),
+            Db::new(2.0),
+        )
+    }
+
+    fn preamble() -> Vec<bool> {
+        crate::packet::PREAMBLE.to_vec()
+    }
+
+    fn payload() -> Vec<bool> {
+        vec![
+            true, true, false, true, false, false, false, true, true, false,
+        ]
+    }
+
+    /// Synthesizes an OTAM-like waveform: per-bit tone at the FSK offset
+    /// with a per-beam amplitude.
+    fn waveform(amp0: f64, amp1: f64) -> IqBuffer {
+        let c = cfg();
+        let mut bits = preamble();
+        bits.extend(payload());
+        let mut out = IqBuffer::empty(fs());
+        let mut phase = 0.0;
+        for b in bits {
+            let amp = if b { amp1 } else { amp0 };
+            let w = 2.0 * std::f64::consts::PI * c.fsk.tone(b).hz() / fs().hz();
+            for _ in 0..c.fsk.samples_per_symbol {
+                out.push(Complex::from_polar(amp, phase));
+                phase += w;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn separated_levels_use_ask() {
+        let buf = waveform(0.2, 1.0);
+        let r = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(r.used, DemodPath::Ask);
+        assert_eq!(r.bits, payload());
+    }
+
+    #[test]
+    fn inverted_levels_use_ask_and_decode() {
+        // Blocked LoS: bit 1 arrives weaker.
+        let buf = waveform(1.0, 0.2);
+        let r = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(r.used, DemodPath::Ask);
+        assert_eq!(r.bits, payload());
+    }
+
+    #[test]
+    fn equal_levels_fall_back_to_fsk() {
+        // Fig. 9(b): both beams arrive with the same loss.
+        let buf = waveform(1.0, 1.0);
+        let r = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(r.used, DemodPath::Fsk);
+        assert_eq!(r.bits, payload());
+    }
+
+    #[test]
+    fn near_equal_levels_fall_back_to_fsk() {
+        // 1 dB separation < the 2 dB trust threshold.
+        let buf = waveform(1.0, 1.122);
+        let r = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(r.used, DemodPath::Fsk);
+        assert_eq!(r.bits, payload());
+    }
+
+    #[test]
+    fn dead_beam_uses_ask() {
+        // Beam 0 completely lost: pure OOK; FSK would see only one tone
+        // but ASK handles it.
+        let buf = waveform(0.0, 1.0);
+        let r = demodulate(&cfg(), &buf, &preamble()).expect("demod");
+        assert_eq!(r.used, DemodPath::Ask);
+        assert_eq!(r.bits, payload());
+    }
+
+    #[test]
+    fn short_buffer_returns_none() {
+        let buf = IqBuffer::zeros(10, fs());
+        assert!(demodulate(&cfg(), &buf, &preamble()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol geometry")]
+    fn mismatched_symbol_length_rejected() {
+        let _ = JointConfig::new(
+            AskConfig::default_ook(10),
+            FskConfig::centered(Hertz::from_mhz(2.0), 25),
+            Db::new(2.0),
+        );
+    }
+}

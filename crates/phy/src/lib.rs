@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # mmx-phy
+//!
+//! The mmX physical layer: modulation, packets, BER theory and coding.
+//!
+//! This crate implements the paper's PHY contributions:
+//!
+//! * [`ask`] / [`fsk`] — the two simple modulations mmX composes (§5):
+//!   envelope-detected ASK and Goertzel-discriminated binary FSK.
+//! * [`otam`] — **Over-The-Air Modulation** (§6.1): the node transmits a
+//!   pure carrier and switches it between two orthogonal beams; the
+//!   channel's per-beam losses create the ASK signal *at the receiver*.
+//!   Includes the full through-channel waveform simulation.
+//! * [`joint`] — joint ASK–FSK demodulation (§6.3): decode by amplitude
+//!   when the levels separate, fall back to frequency when they do not.
+//! * [`packet`] / [`framing`] — preamble, header, payload, CRC; packet
+//!   synchronization with polarity resolution (blocked LoS inverts bits).
+//! * [`ber`] — closed-form BER theory: the "standard BER tables based on
+//!   the ASK modulation" the paper uses to convert measured SNR to BER
+//!   (§9.3, citing \[43\]), plus noncoherent FSK.
+//! * [`snr`] — pilot-aided SNR estimation from received envelopes.
+//! * [`coding`] — the error-correction extension §9.3 alludes to:
+//!   Hamming(7,4) and a K=7 convolutional code with Viterbi decoding,
+//!   plus a block interleaver.
+//! * [`rate`] — rate adaptation over the switch's speed ladder (an
+//!   extension: slower symbols buy post-detection SNR and range).
+//! * [`bits`] — bit/byte plumbing shared by everything above.
+
+pub mod ask;
+pub mod ber;
+pub mod bits;
+pub mod coding;
+pub mod framing;
+pub mod fsk;
+pub mod joint;
+pub mod otam;
+pub mod packet;
+pub mod rate;
+pub mod snr;
+
+pub use otam::{OtamConfig, OtamLink, OtamRxResult};
+pub use packet::Packet;

@@ -1,0 +1,179 @@
+//! Rate adaptation — trading the switch's speed headroom for range.
+//!
+//! The ADRF5020 tops out at 100 Mbps, but nothing forces a node to switch
+//! that fast: halving the symbol rate halves the symbol bandwidth and
+//! buys 3 dB of post-detection SNR. This module picks the fastest rate
+//! whose predicted joint-demodulation BER meets a target — an extension
+//! the paper's architecture supports for free (the controller just
+//! clocks the SPDT slower).
+
+use crate::ber::joint_ber;
+use mmx_units::{BitRate, Db};
+
+/// A rate-adaptation policy over a discrete rate ladder.
+#[derive(Debug, Clone)]
+pub struct RateAdapter {
+    /// Rates to choose from, ascending.
+    ladder: Vec<BitRate>,
+    /// Target bit error rate.
+    pub target_ber: f64,
+    /// ASK/FSK decision threshold (as in the demodulator).
+    pub ask_threshold: Db,
+}
+
+impl RateAdapter {
+    /// Creates an adapter over an ascending rate ladder.
+    pub fn new(mut ladder: Vec<BitRate>, target_ber: f64, ask_threshold: Db) -> Self {
+        assert!(!ladder.is_empty(), "empty rate ladder");
+        assert!(
+            (0.0..0.5).contains(&target_ber) && target_ber > 0.0,
+            "target BER out of range"
+        );
+        ladder.sort_by(|a, b| a.bps().partial_cmp(&b.bps()).expect("finite rates"));
+        RateAdapter {
+            ladder,
+            target_ber,
+            ask_threshold,
+        }
+    }
+
+    /// The standard mmX ladder: 1–100 Mbps in octave-ish steps, targeting
+    /// BER 1e-6.
+    pub fn standard() -> Self {
+        RateAdapter::new(
+            [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0]
+                .iter()
+                .map(|&m| BitRate::from_mbps(m))
+                .collect(),
+            1e-6,
+            Db::new(2.0),
+        )
+    }
+
+    /// The rate ladder (ascending).
+    pub fn ladder(&self) -> &[BitRate] {
+        &self.ladder
+    }
+
+    /// The reference rate (the ladder's top — SNR inputs are quoted at
+    /// this symbol bandwidth).
+    pub fn reference_rate(&self) -> BitRate {
+        *self.ladder.last().expect("non-empty")
+    }
+
+    /// Post-detection SNR at `rate`, given the SNR measured at the
+    /// reference rate: slower symbols integrate longer,
+    /// `+10·log10(R_ref/R)`.
+    pub fn snr_at(&self, snr_at_ref: Db, rate: BitRate) -> Db {
+        snr_at_ref + Db::new(10.0 * (self.reference_rate().bps() / rate.bps()).log10())
+    }
+
+    /// Predicted joint-demodulation BER at `rate`.
+    pub fn ber_at(&self, snr_at_ref: Db, separation: Db, rate: BitRate) -> f64 {
+        joint_ber(
+            self.snr_at(snr_at_ref, rate),
+            separation,
+            self.ask_threshold,
+        )
+    }
+
+    /// The fastest rate meeting the BER target, or `None` when even the
+    /// slowest rung fails.
+    pub fn select(&self, snr_at_ref: Db, separation: Db) -> Option<BitRate> {
+        self.ladder
+            .iter()
+            .rev()
+            .find(|&&r| self.ber_at(snr_at_ref, separation, r) <= self.target_ber)
+            .copied()
+    }
+
+    /// Expected goodput at the selected rate (0 when no rate works):
+    /// `rate × (1 − BER)^packet_bits`.
+    pub fn expected_goodput(&self, snr_at_ref: Db, separation: Db, packet_bits: usize) -> BitRate {
+        match self.select(snr_at_ref, separation) {
+            None => BitRate::new(0.0),
+            Some(rate) => {
+                let ber = self.ber_at(snr_at_ref, separation, rate);
+                rate * (1.0 - ber).powi(packet_bits as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adapter() -> RateAdapter {
+        RateAdapter::standard()
+    }
+
+    fn sep() -> Db {
+        Db::new(15.0)
+    }
+
+    #[test]
+    fn strong_link_gets_full_rate() {
+        let r = adapter().select(Db::new(25.0), sep()).expect("selects");
+        assert!((r.mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_link_falls_back() {
+        let a = adapter();
+        let r = a.select(Db::new(8.0), sep()).expect("selects");
+        assert!(r.mbps() < 100.0);
+        assert!(r.mbps() >= 1.0);
+        // ... and the selection meets the target.
+        assert!(a.ber_at(Db::new(8.0), sep(), r) <= 1e-6);
+    }
+
+    #[test]
+    fn hopeless_link_returns_none() {
+        assert!(adapter().select(Db::new(-15.0), sep()).is_none());
+    }
+
+    #[test]
+    fn selection_is_monotone_in_snr() {
+        let a = adapter();
+        let mut prev = 0.0;
+        for snr in (-10..=30).map(|x| x as f64) {
+            let rate = a
+                .select(Db::new(snr), sep())
+                .map(|r| r.mbps())
+                .unwrap_or(0.0);
+            assert!(rate >= prev, "rate dropped at {snr} dB: {rate} < {prev}");
+            prev = rate;
+        }
+        assert!((prev - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processing_gain_formula() {
+        let a = adapter();
+        let gained = a.snr_at(Db::new(10.0), BitRate::from_mbps(10.0));
+        assert!((gained.value() - 20.0).abs() < 1e-9); // 10·log10(100/10)
+    }
+
+    #[test]
+    fn small_separation_costs_rate() {
+        let a = adapter();
+        let wide = a.select(Db::new(12.0), Db::new(20.0)).map(|r| r.mbps());
+        let narrow = a.select(Db::new(12.0), Db::new(2.5)).map(|r| r.mbps());
+        assert!(narrow <= wide, "narrow {narrow:?} vs wide {wide:?}");
+    }
+
+    #[test]
+    fn goodput_is_zero_when_unreachable_and_near_rate_when_clean() {
+        let a = adapter();
+        assert_eq!(a.expected_goodput(Db::new(-15.0), sep(), 1000).bps(), 0.0);
+        let g = a.expected_goodput(Db::new(30.0), sep(), 1000);
+        assert!(g.mbps() > 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rate ladder")]
+    fn empty_ladder_rejected() {
+        let _ = RateAdapter::new(vec![], 1e-6, Db::new(2.0));
+    }
+}

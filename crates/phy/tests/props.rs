@@ -1,0 +1,143 @@
+//! Property-based tests for the PHY layer.
+
+use mmx_channel::response::BeamChannel;
+use mmx_dsp::Complex;
+use mmx_phy::ber::{ask_ber, fsk_ber, ook_ber, q_function};
+use mmx_phy::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits, crc32, invert};
+use mmx_phy::coding::{convolutional, hamming, Interleaver};
+use mmx_phy::otam::{OtamConfig, OtamLink};
+use mmx_phy::packet::Packet;
+use mmx_units::Db;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn bytes_bits_roundtrip(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn double_inversion_is_identity(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        prop_assert_eq!(invert(&invert(&bits)), bits);
+    }
+
+    #[test]
+    fn ber_is_zero_iff_equal(bits in prop::collection::vec(any::<bool>(), 1..100)) {
+        prop_assert_eq!(bit_error_rate(&bits, &bits), 0.0);
+        prop_assert_eq!(bit_error_rate(&bits, &invert(&bits)), 1.0);
+    }
+
+    #[test]
+    fn crc_differs_for_different_payloads(
+        a in prop::collection::vec(any::<u8>(), 1..64),
+        b in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(a != b);
+        // Not a guarantee in general, but for short random inputs a CRC32
+        // collision would be a red flag in this generator regime.
+        prop_assert!(crc32(&a) != crc32(&b) || a.len() != b.len());
+    }
+
+    #[test]
+    fn packet_roundtrip(node in any::<u8>(), seq in any::<u16>(),
+                        payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        let p = Packet::new(node, seq, payload);
+        let bits = p.to_bits();
+        let parsed = Packet::from_bits(&bits[32..]).expect("parse");
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn packet_single_flip_never_parses_wrong(
+        payload in prop::collection::vec(any::<u8>(), 1..32),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let p = Packet::new(1, 7, payload);
+        let mut bits = p.to_bits();
+        let idx = 32 + ((bits.len() - 33) as f64 * flip_frac) as usize;
+        bits[idx] = !bits[idx];
+        // Either an error, or (impossible for CRC32 + single flip) the
+        // original packet. Never a silently different packet.
+        if let Ok(q) = Packet::from_bits(&bits[32..]) { prop_assert_eq!(q, p) }
+    }
+
+    #[test]
+    fn q_function_bounded_monotone(x1 in -8.0f64..8.0, x2 in -8.0f64..8.0) {
+        let (lo, hi) = if x1 < x2 { (x1, x2) } else { (x2, x1) };
+        let qlo = q_function(lo);
+        let qhi = q_function(hi);
+        prop_assert!((0.0..=1.0).contains(&qlo));
+        prop_assert!(qhi <= qlo + 1e-12);
+    }
+
+    #[test]
+    fn ask_ber_never_beats_ook(snr in 0.0f64..30.0, sep in 0.1f64..40.0) {
+        // Finite separation always has less decision distance than OOK.
+        prop_assert!(ask_ber(Db::new(snr), Db::new(sep)) >= ook_ber(Db::new(snr)) - 1e-15);
+    }
+
+    #[test]
+    fn all_bers_are_probabilities(snr in -20.0f64..50.0, sep in 0.0f64..60.0) {
+        for b in [
+            ook_ber(Db::new(snr)),
+            ask_ber(Db::new(snr), Db::new(sep)),
+            fsk_ber(Db::new(snr)),
+        ] {
+            prop_assert!((0.0..=0.5).contains(&b), "ber = {b}");
+        }
+    }
+
+    #[test]
+    fn hamming_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..160)) {
+        let coded = hamming::encode(&bits);
+        let decoded = hamming::decode(&coded);
+        prop_assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn conv_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let coded = convolutional::encode(&bits);
+        prop_assert_eq!(convolutional::decode(&coded), bits);
+    }
+
+    #[test]
+    fn conv_corrects_any_single_error(bits in prop::collection::vec(any::<bool>(), 8..64),
+                                      pos_frac in 0.0f64..1.0) {
+        let mut coded = convolutional::encode(&bits);
+        let idx = ((coded.len() - 1) as f64 * pos_frac) as usize;
+        coded[idx] = !coded[idx];
+        prop_assert_eq!(convolutional::decode(&coded), bits);
+    }
+
+    #[test]
+    fn interleaver_roundtrip(rows in 1usize..10, cols in 1usize..20, seed in any::<u64>()) {
+        use rand::Rng;
+        let il = Interleaver::new(rows, cols);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bits: Vec<bool> = (0..il.block_len()).map(|_| rng.gen()).collect();
+        prop_assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn otam_roundtrip_over_random_good_channels(
+        g1 in -75.0f64..-55.0,
+        delta in 6.0f64..25.0,
+        ph0 in 0.0f64..std::f64::consts::TAU,
+        ph1 in 0.0f64..std::f64::consts::TAU,
+        seed in any::<u64>(),
+    ) {
+        // Any channel with a healthy level separation and a strong mark
+        // must deliver the packet.
+        let ch = BeamChannel {
+            h1: Complex::from_polar(10f64.powf(g1 / 20.0), ph1),
+            h0: Complex::from_polar(10f64.powf((g1 - delta) / 20.0), ph0),
+        };
+        let link = OtamLink::new(OtamConfig::standard(), ch);
+        let p = Packet::new(5, 1, &b"prop"[..]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (rx, parsed) = link.send_packet(&p, &mut rng);
+        prop_assert!(rx.is_some());
+        prop_assert_eq!(parsed.expect("parse"), p);
+    }
+}

@@ -1,0 +1,229 @@
+//! Assembled front ends: the node's TX chain and the AP's RX chain.
+
+use crate::adc::Adc;
+use crate::cascade::{CascadeStage, NoiseCascade};
+use crate::filter::CoupledLineFilter;
+use crate::lna::Lna;
+use crate::mixer::SubharmonicMixer;
+use crate::pll::Pll;
+use crate::switch::SpdtSwitch;
+use crate::vco::Vco;
+use mmx_units::{BitRate, Db, DbmPower, Hertz};
+
+/// The mmX node transmit chain: VCO → SPDT → (one of two arrays).
+///
+/// Fig. 3(a): "The mmWave section includes only two active mmWave
+/// components: a VCO and an SPDT switch."
+#[derive(Debug, Clone)]
+pub struct NodeFrontEnd {
+    vco: Vco,
+    switch: SpdtSwitch,
+    channel: Hertz,
+    fsk_deviation: Hertz,
+}
+
+impl NodeFrontEnd {
+    /// The paper's hardware, idling at the ISM band center with a 2 MHz
+    /// FSK deviation.
+    pub fn standard() -> Self {
+        NodeFrontEnd {
+            vco: Vco::hmc533(),
+            switch: SpdtSwitch::adrf5020(),
+            channel: Hertz::from_ghz(24.125),
+            fsk_deviation: Hertz::from_mhz(2.0),
+        }
+    }
+
+    /// The VCO model.
+    pub fn vco(&self) -> &Vco {
+        &self.vco
+    }
+
+    /// The switch model.
+    pub fn switch(&self) -> &SpdtSwitch {
+        &self.switch
+    }
+
+    /// Tunes to a channel center frequency. Returns `false` (and leaves
+    /// the tuning unchanged) when the VCO cannot reach it.
+    pub fn tune(&mut self, channel: Hertz) -> bool {
+        if self.vco.voltage_for(channel).is_some() {
+            self.channel = channel;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current channel center.
+    pub fn channel(&self) -> Hertz {
+        self.channel
+    }
+
+    /// Sets the FSK deviation (the Beam-1 tone sits `deviation` above the
+    /// Beam-0 tone).
+    pub fn set_fsk_deviation(&mut self, deviation: Hertz) {
+        assert!(deviation.hz() >= 0.0, "deviation cannot be negative");
+        self.fsk_deviation = deviation;
+    }
+
+    /// Carrier frequency transmitted while a given bit's beam is active:
+    /// bit 0 → `channel − dev/2`, bit 1 → `channel + dev/2` (§6.3: "the
+    /// frequency of the tone transmitted by Beam 1 will be slightly
+    /// different from ... Beam 0").
+    pub fn tone_for_bit(&self, bit: bool) -> Hertz {
+        if bit {
+            self.channel + self.fsk_deviation / 2.0
+        } else {
+            self.channel - self.fsk_deviation / 2.0
+        }
+    }
+
+    /// Power delivered to the active antenna array: VCO output − switch
+    /// insertion loss = 10 dBm, "which complies with FCC regulations"
+    /// (§8.1).
+    pub fn antenna_power(&self) -> DbmPower {
+        self.vco.output_power() - self.switch.insertion_loss()
+    }
+
+    /// Maximum modulation rate (switch-limited): 100 Mbps.
+    pub fn max_bit_rate(&self) -> BitRate {
+        self.switch.max_bit_rate()
+    }
+}
+
+/// The mmX AP receive chain: LNA → filter → sub-harmonic mixer → ADC
+/// (Fig. 3(b)).
+#[derive(Debug, Clone)]
+pub struct ApFrontEnd {
+    lna: Lna,
+    filter: CoupledLineFilter,
+    mixer: SubharmonicMixer,
+    pll: Pll,
+    adc: Adc,
+}
+
+impl ApFrontEnd {
+    /// The paper's AP hardware.
+    pub fn standard() -> Self {
+        ApFrontEnd {
+            lna: Lna::hmc751(),
+            filter: CoupledLineFilter::mmx_24ghz(),
+            mixer: SubharmonicMixer::hmc264(),
+            pll: Pll::adf5356(),
+            adc: Adc::usrp_n210(),
+        }
+    }
+
+    /// The receive cascade in physical order.
+    pub fn cascade(&self) -> NoiseCascade {
+        NoiseCascade::new()
+            .stage(CascadeStage::new(
+                "LNA (HMC751)",
+                self.lna.gain(),
+                self.lna.noise_figure(),
+            ))
+            .stage(CascadeStage::passive(
+                "coupled-line filter",
+                self.filter.insertion_loss(),
+            ))
+            .stage(CascadeStage::passive(
+                "sub-harmonic mixer (HMC264)",
+                self.mixer.conversion_loss(),
+            ))
+    }
+
+    /// Cascaded receiver noise figure (≈2.6 dB with the LNA first).
+    pub fn noise_figure(&self) -> Db {
+        self.cascade().noise_figure()
+    }
+
+    /// The LO the PLL must synthesize for a given RF channel (IF fixed at
+    /// 4 GHz). `None` if the PLL cannot generate it.
+    pub fn lo_for_channel(&self, rf: Hertz) -> Option<Hertz> {
+        let lo = self.mixer.lo_for(rf, Hertz::from_ghz(4.0));
+        self.pll.tune(lo)
+    }
+
+    /// The digitizer.
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+
+    /// Front-end attenuation for an out-of-channel interferer at `f` when
+    /// the AP is tuned to `channel` (filter selectivity).
+    pub fn interference_rejection(&self, f: Hertz) -> Db {
+        self.filter.attenuation(f) - self.filter.insertion_loss()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn node_radiates_10dbm() {
+        close(NodeFrontEnd::standard().antenna_power().dbm(), 10.0, 1e-9);
+    }
+
+    #[test]
+    fn node_tunes_across_ism_band() {
+        let mut fe = NodeFrontEnd::standard();
+        assert!(fe.tune(Hertz::from_ghz(24.0)));
+        assert!(fe.tune(Hertz::from_ghz(24.2)));
+        assert!(!fe.tune(Hertz::from_ghz(25.0)));
+        close(fe.channel().ghz(), 24.2, 1e-12); // unchanged by the failure
+    }
+
+    #[test]
+    fn fsk_tones_straddle_the_channel() {
+        let fe = NodeFrontEnd::standard();
+        let f0 = fe.tone_for_bit(false);
+        let f1 = fe.tone_for_bit(true);
+        close((f1 - f0).mhz(), 2.0, 1e-9);
+        close(((f1 + f0) / 2.0).ghz(), fe.channel().ghz(), 1e-9);
+    }
+
+    #[test]
+    fn ap_noise_figure_is_lna_dominated() {
+        let nf = ApFrontEnd::standard().noise_figure().value();
+        assert!(nf > 2.0 && nf < 3.0, "NF = {nf}");
+    }
+
+    #[test]
+    fn ap_frequency_plan_works_across_band() {
+        let ap = ApFrontEnd::standard();
+        for ghz in [24.0, 24.125, 24.25] {
+            let lo = ap.lo_for_channel(Hertz::from_ghz(ghz)).expect("PLL range");
+            close(lo.ghz(), (ghz - 4.0) / 2.0, 1e-3);
+        }
+    }
+
+    #[test]
+    fn out_of_band_interferer_is_rejected() {
+        let ap = ApFrontEnd::standard();
+        let rej = ap.interference_rejection(Hertz::from_ghz(26.5));
+        close(rej.value(), 30.0, 1e-9);
+        // In-band signal sees no *extra* rejection.
+        close(
+            ap.interference_rejection(Hertz::from_ghz(24.1)).value(),
+            0.0,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn max_rate_is_switch_limited() {
+        close(NodeFrontEnd::standard().max_bit_rate().mbps(), 100.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "deviation")]
+    fn negative_deviation_rejected() {
+        NodeFrontEnd::standard().set_fsk_deviation(Hertz::from_mhz(-1.0));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # mmx-rf
+//!
+//! RF component models for the mmX reproduction.
+//!
+//! The paper's central cost/power argument (§5, §8, Table 1) is carried by
+//! specific parts: an HMC533 VCO and ADRF5020 SPDT switch in the node; an
+//! HMC751 LNA, microstrip coupled-line filter, HMC264 sub-harmonic mixer
+//! and ADF5356 PLL in the AP. This crate models each part from its
+//! datasheet at the level the system analysis needs — tuning curves,
+//! gains, noise figures, insertion losses, switching-rate limits, power
+//! draws and unit costs:
+//!
+//! * [`vco`] — the HMC533 frequency-vs-voltage curve (Fig. 7).
+//! * [`switch`] — the ADRF5020 SPDT: insertion loss, isolation, and the
+//!   100 MHz switching-rate ceiling that caps mmX at 100 Mbps.
+//! * [`lna`], [`mixer`], [`filter`], [`pll`], [`adc`] — the AP receive
+//!   chain stages.
+//! * [`cascade`] — Friis noise-figure composition of a stage chain.
+//! * [`budget`] — end-to-end link budgets (TX power → SNR).
+//! * [`power`] — DC power ledgers (the 1.1 W node, §9.1) and energy/bit.
+//! * [`cost`] — bill-of-materials cost ledgers (the $110 node).
+//! * [`frontend`] — the assembled node TX chain and AP RX chain.
+
+pub mod adc;
+pub mod budget;
+pub mod cascade;
+pub mod cost;
+pub mod filter;
+pub mod frontend;
+pub mod lna;
+pub mod mixer;
+pub mod pll;
+pub mod power;
+pub mod switch;
+pub mod vco;
+
+pub use budget::LinkBudget;
+pub use cascade::{CascadeStage, NoiseCascade};
+pub use frontend::{ApFrontEnd, NodeFrontEnd};
+pub use power::PowerLedger;
+pub use switch::SpdtSwitch;
+pub use vco::Vco;

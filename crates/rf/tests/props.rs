@@ -1,0 +1,89 @@
+//! Property-based tests for the RF component models.
+
+use mmx_rf::budget::LinkBudget;
+use mmx_rf::cascade::{CascadeStage, NoiseCascade};
+use mmx_rf::switch::SpdtSwitch;
+use mmx_rf::vco::Vco;
+use mmx_units::{BitRate, Db, DbmPower, Hertz, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vco_monotone(v1 in 3.5f64..4.9, v2 in 3.5f64..4.9) {
+        prop_assume!((v1 - v2).abs() > 1e-6);
+        let vco = Vco::hmc533();
+        let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(vco.frequency(lo).hz() < vco.frequency(hi).hz());
+    }
+
+    #[test]
+    fn vco_inverse_roundtrip(ghz in 23.95f64..24.25) {
+        let vco = Vco::hmc533();
+        let target = Hertz::from_ghz(ghz);
+        let volts = vco.voltage_for(target).expect("in range");
+        prop_assert!((vco.frequency(volts).hz() - target.hz()).abs() < 1e3);
+        prop_assert!((3.5..=4.9).contains(&volts));
+    }
+
+    #[test]
+    fn switch_cap_is_idempotent_and_bounded(mbps in 0.1f64..10_000.0) {
+        let s = SpdtSwitch::adrf5020();
+        let capped = s.cap_rate(BitRate::from_mbps(mbps));
+        prop_assert!(capped.mbps() <= 100.0 + 1e-9);
+        prop_assert!(capped.mbps() <= mbps + 1e-9);
+        let recapped = s.cap_rate(capped);
+        prop_assert!((recapped.bps() - capped.bps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cascade_nf_at_least_first_stage(
+        g1 in 5.0f64..40.0, nf1 in 0.5f64..10.0,
+        loss2 in 0.0f64..15.0, loss3 in 0.0f64..15.0,
+    ) {
+        let c = NoiseCascade::new()
+            .stage(CascadeStage::new("amp", Db::new(g1), Db::new(nf1)))
+            .stage(CascadeStage::passive("f", Db::new(loss2)))
+            .stage(CascadeStage::passive("m", Db::new(loss3)));
+        let nf = c.noise_figure();
+        // Friis: total NF ≥ first-stage NF ...
+        prop_assert!(nf.value() >= nf1 - 1e-9);
+        // ... and matches the closed form exactly.
+        let f1 = Db::new(nf1).linear();
+        let g1l = Db::new(g1).linear();
+        let f2 = Db::new(loss2).linear();
+        let g2l = Db::new(-loss2).linear();
+        let f3 = Db::new(loss3).linear();
+        let expect = f1 + (f2 - 1.0) / g1l + (f3 - 1.0) / (g1l * g2l);
+        prop_assert!((nf.linear() - expect).abs() / expect < 1e-9, "nf {nf} vs {expect}");
+    }
+
+    #[test]
+    fn cascade_order_matters_lna_first_wins(loss in 1.0f64..10.0) {
+        let lna = || CascadeStage::new("LNA", Db::new(25.0), Db::new(2.0));
+        let att = || CascadeStage::passive("loss", Db::new(loss));
+        let good = NoiseCascade::new().stage(lna()).stage(att());
+        let bad = NoiseCascade::new().stage(att()).stage(lna());
+        prop_assert!(good.noise_figure().value() < bad.noise_figure().value());
+        // Loss-first adds the loss directly.
+        prop_assert!((bad.noise_figure().value() - (loss + 2.0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn budget_snr_monotone_in_gain(gain_db in -110.0f64..-40.0, delta in 0.1f64..30.0) {
+        let mk = |g: f64| LinkBudget::from_channel_gain(
+            DbmPower::new(10.0),
+            Db::new(g),
+            Db::new(12.0),
+            Hertz::from_mhz(25.0),
+            Db::new(2.6),
+        );
+        prop_assert!(mk(gain_db + delta).snr() > mk(gain_db).snr());
+    }
+
+    #[test]
+    fn energy_per_bit_inverse_in_rate(mbps in 1.0f64..100.0, watts in 0.1f64..5.0) {
+        let nj = BitRate::from_mbps(mbps).energy_per_bit_nj(Watts::new(watts));
+        let nj2 = BitRate::from_mbps(mbps * 2.0).energy_per_bit_nj(Watts::new(watts));
+        prop_assert!((nj / nj2 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # mmx-units
+//!
+//! Strongly-typed RF quantities and link-budget arithmetic for the mmX
+//! stack.
+//!
+//! Every SNR, path loss and noise figure in the mmX paper is the result of
+//! decibel arithmetic over physical quantities. Doing that arithmetic on
+//! bare `f64`s invites unit bugs (adding a dBm to a dBm, treating a ratio as
+//! a level), so this crate provides thin newtypes with only the operations
+//! that are physically meaningful:
+//!
+//! * [`Db`] — a dimensionless ratio in decibels (gains, losses, SNR).
+//! * [`DbmPower`] — an absolute power level in dBm, plus linear [`Watts`].
+//! * [`Hertz`] — frequency, with wavelength and band helpers.
+//! * [`BitRate`] — data rate, with energy-per-bit helpers.
+//! * [`thermal_noise_dbm`] — the kTB noise floor used for every SNR
+//!   computation in the reproduction.
+//!
+//! The types are `Copy`, comparable, and deliberately boring; all the
+//! physics lives in the arithmetic rules (`DbmPower + Db = DbmPower`,
+//! `DbmPower - DbmPower = Db`, and so on).
+//!
+//! ```
+//! use mmx_units::{DbmPower, Db, Hertz, thermal_noise_dbm};
+//!
+//! // A 10 dBm transmitter with 9 dBi of antenna gain over a 60 dB path:
+//! let rx = DbmPower::new(10.0) + Db::new(9.0) - Db::new(60.0);
+//! let noise = thermal_noise_dbm(Hertz::from_mhz(25.0), Db::new(7.0));
+//! let snr = rx - noise;
+//! assert!(snr.value() > 50.0);
+//! ```
+
+pub mod angle;
+pub mod datarate;
+pub mod db;
+pub mod frequency;
+pub mod noise;
+pub mod power;
+pub mod time;
+
+pub use angle::{Degrees, Radians};
+pub use datarate::BitRate;
+pub use db::Db;
+pub use frequency::{Band, Hertz};
+pub use noise::{thermal_noise_dbm, BOLTZMANN_DBM_PER_HZ};
+pub use power::{DbmPower, Watts};
+pub use time::{Seconds, SPEED_OF_LIGHT};

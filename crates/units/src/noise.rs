@@ -1,0 +1,67 @@
+//! Thermal noise floor computation.
+
+use crate::db::Db;
+use crate::frequency::Hertz;
+use crate::power::DbmPower;
+
+/// Thermal noise power spectral density at 290 K: `10·log10(k·T·1mW⁻¹)`
+/// ≈ −173.98 dBm/Hz. Every receiver sensitivity in the reproduction is
+/// anchored to this constant.
+pub const BOLTZMANN_DBM_PER_HZ: f64 = -173.977;
+
+/// The thermal noise floor of a receiver.
+///
+/// `N = −174 dBm/Hz + 10·log10(B) + NF`, where `B` is the noise bandwidth
+/// and `NF` the receiver's cascaded noise figure (computed by
+/// `mmx-rf::cascade` from the LNA/filter/mixer chain).
+///
+/// ```
+/// use mmx_units::{thermal_noise_dbm, Hertz, Db};
+/// // A 25 MHz channel through a 7 dB-NF receiver:
+/// let n = thermal_noise_dbm(Hertz::from_mhz(25.0), Db::new(7.0));
+/// assert!((n.dbm() - (-93.0)).abs() < 0.1);
+/// ```
+pub fn thermal_noise_dbm(bandwidth: Hertz, noise_figure: Db) -> DbmPower {
+    DbmPower::new(BOLTZMANN_DBM_PER_HZ + 10.0 * bandwidth.hz().log10()) + noise_figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn one_hz_ideal_receiver_is_ktb() {
+        close(
+            thermal_noise_dbm(Hertz::new(1.0), Db::ZERO).dbm(),
+            BOLTZMANN_DBM_PER_HZ,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn one_mhz_is_minus_114() {
+        close(
+            thermal_noise_dbm(Hertz::from_mhz(1.0), Db::ZERO).dbm(),
+            -113.977,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn noise_figure_adds_directly() {
+        let ideal = thermal_noise_dbm(Hertz::from_mhz(25.0), Db::ZERO);
+        let real = thermal_noise_dbm(Hertz::from_mhz(25.0), Db::new(7.0));
+        close((real - ideal).value(), 7.0, 1e-12);
+    }
+
+    #[test]
+    fn wider_band_is_noisier_by_10log10() {
+        let narrow = thermal_noise_dbm(Hertz::from_mhz(10.0), Db::ZERO);
+        let wide = thermal_noise_dbm(Hertz::from_mhz(100.0), Db::ZERO);
+        close((wide - narrow).value(), 10.0, 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the unit types: the decibel algebra must be a
+//! faithful homomorphism of linear-domain arithmetic.
+
+use mmx_units::{Db, DbmPower, Degrees, Hertz, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn db_linear_roundtrip(db in -120.0f64..120.0) {
+        let d = Db::new(db);
+        let back = Db::from_linear(d.linear());
+        prop_assert!((back.value() - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_addition_is_linear_multiplication(a in -60.0f64..60.0, b in -60.0f64..60.0) {
+        let sum = Db::new(a) + Db::new(b);
+        let prod = Db::new(a).linear() * Db::new(b).linear();
+        prop_assert!((sum.linear() - prod).abs() / prod < 1e-9);
+    }
+
+    #[test]
+    fn dbm_gain_then_loss_cancels(p in -100.0f64..30.0, g in 0.0f64..60.0) {
+        let out = DbmPower::new(p) + Db::new(g) - Db::new(g);
+        prop_assert!((out.dbm() - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_sum_dominates_components(a in -100.0f64..0.0, b in -100.0f64..0.0) {
+        let s = DbmPower::power_sum([DbmPower::new(a), DbmPower::new(b)]);
+        // The sum must exceed both, and by at most 3.02 dB over the max.
+        prop_assert!(s.dbm() >= a.max(b) - 1e-9);
+        prop_assert!(s.dbm() <= a.max(b) + 3.0103 + 1e-9);
+    }
+
+    #[test]
+    fn amplitude_squares_to_power(db in -60.0f64..60.0) {
+        let d = Db::new(db);
+        prop_assert!((d.amplitude().powi(2) - d.linear()).abs() / d.linear() < 1e-9);
+    }
+
+    #[test]
+    fn wrapped_angle_in_range(deg in -1e4f64..1e4) {
+        let w = Degrees::new(deg).wrapped().value();
+        prop_assert!(w > -180.0 - 1e-9 && w <= 180.0 + 1e-9);
+    }
+
+    #[test]
+    fn angular_distance_symmetric(a in -360.0f64..360.0, b in -360.0f64..360.0) {
+        let d1 = Degrees::new(a).distance(Degrees::new(b)).value();
+        let d2 = Degrees::new(b).distance(Degrees::new(a)).value();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!((0.0..=180.0 + 1e-9).contains(&d1));
+    }
+
+    #[test]
+    fn wavelength_frequency_inverse(ghz in 1.0f64..100.0) {
+        let f = Hertz::from_ghz(ghz);
+        let recovered = mmx_units::SPEED_OF_LIGHT / f.wavelength_m();
+        prop_assert!((recovered - f.hz()).abs() / f.hz() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_monotone(d1 in 0.1f64..100.0, d2 in 0.1f64..100.0) {
+        let t1 = Seconds::propagation(d1);
+        let t2 = Seconds::propagation(d2);
+        prop_assert_eq!(d1 < d2, t1 < t2);
+    }
+}

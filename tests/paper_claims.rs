@@ -1,0 +1,143 @@
+//! The paper's headline claims, as executable assertions.
+//!
+//! Each test quotes the claim it checks. These are the repository's
+//! "did we actually reproduce the paper" gate; EXPERIMENTS.md records the
+//! corresponding quantitative comparisons.
+
+use mmx::baseline::Platform;
+use mmx::core::prelude::*;
+use mmx::rf::power::PowerLedger;
+use mmx::rf::vco::Vco;
+use mmx::units::Watts;
+
+#[test]
+fn claim_node_consumes_1_1w_and_11nj_per_bit() {
+    // Abstract: "The maximum data rate of mmX's node is 100 Mbps and it
+    // consumes 1.1 W. This results in an energy efficiency of 11 nJ/bit."
+    let ledger = PowerLedger::mmx_node();
+    assert!((ledger.total().value() - 1.1).abs() < 1e-9);
+    assert!((ledger.energy_per_bit_nj(BitRate::from_mbps(100.0)) - 11.0).abs() < 1e-9);
+}
+
+#[test]
+fn claim_more_efficient_than_wifi() {
+    // Abstract: "...which is even lower than existing WiFi modules".
+    assert!(Platform::mmx().energy_per_bit_nj() < Platform::wifi_80211n().energy_per_bit_nj());
+}
+
+#[test]
+fn claim_vco_covers_the_entire_ism_band() {
+    // §9.1/Fig. 7: "The VCO covers 23.95 GHz to 24.25 GHz by tuning the
+    // control voltage from 3.5 V to 4.9 V. The provided frequency range
+    // covers the entire 24 GHz ISM band."
+    let vco = Vco::hmc533();
+    let band = mmx::units::Band::ism_24ghz();
+    assert!(vco.frequency(3.5).hz() <= band.low.hz());
+    assert!(vco.frequency(4.9).hz() >= band.high.hz());
+}
+
+#[test]
+fn claim_switch_limits_rate_to_100mbps() {
+    // §9.1: "The maximum operating frequency of the RF switch is 100 MHz,
+    // which limits the data rate of mmX's nodes to 100 Mbps."
+    let fe = mmx::rf::frontend::NodeFrontEnd::standard();
+    assert!((fe.max_bit_rate().mbps() - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn claim_snr_10db_or_more_at_18m() {
+    // Abstract: "mmX provides wireless links with SNR of 10 dB or more to
+    // all nodes even at 18 meters." (§9.4: ≥15 dB facing, ≥9 dB not.)
+    // Use a long corridor so an 18 m link exists.
+    let room = mmx::channel::Room::rectangular(20.0, 4.0, mmx::channel::room::Material::Drywall);
+    let ap = Pose::new(Vec2::new(19.5, 2.0), Degrees::new(180.0));
+    let testbed = mmx::core::Testbed::new(room, ap, MmxConfig::paper());
+    let pose = testbed.node_pose_at(Vec2::new(1.5, 2.0)); // 18 m away
+    let obs = testbed.observe(pose, &[]);
+    assert!(obs.snr_otam.value() >= 10.0, "18 m SNR = {}", obs.snr_otam);
+}
+
+#[test]
+fn claim_otam_beats_no_otam_everywhere_in_the_room() {
+    // §9.2/Fig. 10: OTAM's SNR dominates the Beam-1-only baseline at
+    // every placement (it picks the stronger beam by construction).
+    let testbed = Testbed::paper_default();
+    for ix in 0..8 {
+        for iy in 0..5 {
+            let pos = Vec2::new(0.4 + ix as f64 * 0.6, 0.4 + iy as f64 * 0.75);
+            for rot in [-45.0, 0.0, 45.0] {
+                let facing = (testbed.ap().position - pos).bearing() + Degrees::new(rot);
+                let obs = testbed.observe(Pose::new(pos, facing), &[]);
+                assert!(
+                    obs.snr_otam >= obs.snr_beam1 - Db::new(1e-9),
+                    "OTAM lost at ({pos:?}, rot {rot})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn claim_equal_loss_cases_are_rare_and_fsk_decodable() {
+    // §6.3: "our empirical results show that there is still a small
+    // chance (<10%) that the received power from Beam 1 and Beam 0
+    // experiences the same loss" — and joint modulation decodes those.
+    // Random placements and orientations (±60°), as in §9.2. Our
+    // analytic two-element patterns have a wider beam-crossover region
+    // than the paper's fabricated arrays, so the ambiguous fraction runs
+    // above the measured <10% — the deviation is recorded in
+    // EXPERIMENTS.md. What must hold: ambiguity is the minority case and
+    // every strong-but-ambiguous link is rescued by FSK.
+    use rand::{Rng, SeedableRng};
+    let testbed = Testbed::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut total = 0;
+    let mut ambiguous = 0;
+    for _ in 0..400 {
+        let pos = Vec2::new(rng.gen_range(0.4..5.2), rng.gen_range(0.4..3.6));
+        let facing =
+            (testbed.ap().position - pos).bearing() + Degrees::new(rng.gen_range(-60.0..60.0));
+        let obs = testbed.observe(Pose::new(pos, facing), &[]);
+        total += 1;
+        if obs.separation.value() < 2.0 {
+            ambiguous += 1;
+            // The joint demodulator falls back to FSK and keeps the link
+            // usable whenever the mark SNR is healthy.
+            if obs.snr_otam.value() > 15.0 {
+                assert!(
+                    obs.ber_otam < 1e-3,
+                    "ambiguous but strong link has BER {}",
+                    obs.ber_otam
+                );
+            }
+        }
+    }
+    let frac = ambiguous as f64 / total as f64;
+    assert!(frac < 0.30, "ambiguous fraction = {frac}");
+    assert!(ambiguous > 0, "expected some ambiguous placements");
+}
+
+#[test]
+fn claim_initialization_is_one_shot_not_continuous() {
+    // §7(a): "The initialization takes place only once using a WiFi or
+    // Bluetooth module" — vs beam search which repeats per coherence
+    // time. One exhaustive sweep costs more node energy than the entire
+    // mmX control handshake.
+    use mmx::baseline::search::{BeamSearch, ExhaustiveSearch};
+    use mmx::baseline::ConventionalNode;
+    let node = ConventionalNode::standard();
+    let out = ExhaustiveSearch::standard()
+        .search(&node, &|steer| node.array().gain(steer, Degrees::new(0.0)));
+    let mmx_handshake_j = 2.0 * mmx::net::control::CONTROL_MSG_ENERGY_J;
+    assert!(out.cost.node_energy_j > 10.0 * mmx_handshake_j);
+}
+
+#[test]
+fn claim_conventional_radio_power_motivates_mmx() {
+    // §1: PA 2.5 W + mixer 1 W + phased array "more than a watt" —
+    // versus the whole mmX node at 1.1 W.
+    let conventional = mmx::baseline::ConventionalNode::standard().tx_power_draw();
+    let node = PowerLedger::mmx_node().total();
+    assert!(conventional.value() > 4.0 * node.value());
+    assert!((node - Watts::new(1.1)).0.abs() < 1e-9);
+}

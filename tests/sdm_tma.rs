@@ -1,0 +1,165 @@
+//! Sample-level SDM: two nodes transmitting on the SAME frequency
+//! channel from different directions, separated by the AP's
+//! time-modulated array and both decoded.
+//!
+//! The paper could not do this in hardware ("due to limitations of
+//! USRPs... we do not implement SDM in hardware", §9.5) — the sub-band
+//! captures were combined in post-processing. Here the whole §7(b)
+//! pipeline runs end to end: OTAM waveforms → plane waves from two
+//! directions → TMA switching (Eq. 4) → harmonics at m·fp → channelizer
+//! → OTAM receivers → CRC-clean packets.
+
+use mmx::antenna::tma::Tma;
+use mmx::channel::response::BeamChannel;
+use mmx::dsp::awgn::AwgnSource;
+use mmx::dsp::channelizer::Channelizer;
+use mmx::dsp::{Complex, IqBuffer};
+use mmx::phy::otam::{OtamConfig, OtamLink};
+use mmx::phy::packet::Packet;
+use mmx::units::{Db, Hertz};
+use rand::SeedableRng;
+
+const FS: f64 = 64e6; // capture rate
+const FP: f64 = 8e6; // TMA switching fundamental
+
+fn tma() -> Tma {
+    // 8 elements switching at 8 MHz: harmonics every 8 MHz, exactly one
+    // sample per switch slot at 64 MS/s.
+    Tma::new(8, Hertz::from_ghz(24.0), Hertz::new(FP))
+}
+
+/// An OTAM link generating at the capture rate (1 Msym/s).
+fn link(mark_db: f64, space_db: f64) -> OtamLink {
+    let mut cfg = OtamConfig::standard();
+    cfg.sample_rate = Hertz::new(FS);
+    cfg.samples_per_symbol = 64;
+    OtamLink::new(
+        cfg,
+        BeamChannel {
+            h1: Complex::from_polar(10f64.powf(mark_db / 20.0), 0.5),
+            h0: Complex::from_polar(10f64.powf(space_db / 20.0), -0.7),
+        },
+    )
+}
+
+/// Receiver config at the channelized rate (16 MS/s, same 1 Msym/s).
+fn rx() -> OtamLink {
+    let mut cfg = OtamConfig::standard();
+    cfg.sample_rate = Hertz::new(FS / 4.0);
+    cfg.samples_per_symbol = 16;
+    OtamLink::new(
+        cfg,
+        BeamChannel {
+            h1: Complex::ONE,
+            h0: Complex::ONE,
+        },
+    )
+}
+
+#[test]
+fn two_cochannel_nodes_separated_by_the_tma() {
+    let t = tma();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5D);
+
+    // Node A arrives on the harmonic-1 beam, node B on harmonic −2.
+    let dir_a = t.harmonic_direction(1).expect("beam");
+    let dir_b = t.harmonic_direction(-2).expect("beam");
+
+    let link_a = link(-58.0, -72.0);
+    let link_b = link(-60.0, -75.0);
+    let pkt_a = Packet::new(1, 100, &b"same channel, beam one"[..]);
+    let pkt_b = Packet::new(2, 200, &b"same channel, beam minus two"[..]);
+
+    // Both nodes emit on the SAME frequency channel (DC at baseband).
+    let wave_a = link_a.clean_waveform(&pkt_a.to_bits());
+    let wave_b = link_b.clean_waveform(&pkt_b.to_bits());
+
+    // The TMA hashes each arrival direction onto its harmonic.
+    let thru_a = t.modulate_block(&wave_a, dir_a);
+    let thru_b = t.modulate_block(&wave_b, dir_b);
+    // Pad past the longer packet: the channelizer's group-delay
+    // compensation consumes tail samples.
+    let len = thru_a.len().max(thru_b.len()) + 1024;
+    let mut capture = IqBuffer::zeros(len, Hertz::new(FS));
+    for (i, s) in thru_a.samples().iter().enumerate() {
+        capture.samples_mut()[i] += *s;
+    }
+    for (i, s) in thru_b.samples().iter().enumerate() {
+        capture.samples_mut()[i] += *s;
+    }
+    let noise = mmx::units::thermal_noise_dbm(Hertz::new(FS), Db::new(2.6)).milliwatts();
+    AwgnSource::with_power(noise).add_to(&mut capture, &mut rng);
+
+    // AP baseband: pull each harmonic out and decode.
+    let chan = Channelizer::new(Hertz::new(FS), 4);
+    let receiver = rx();
+
+    let narrow_a = chan.extract(&capture, Hertz::new(FP)); // +1·fp
+    let got_a = receiver.receive(&narrow_a).expect("node A syncs");
+    assert_eq!(
+        Packet::from_bits(&got_a.bits).expect("node A parses"),
+        pkt_a,
+        "node A through harmonic +1"
+    );
+
+    let narrow_b = chan.extract(&capture, Hertz::new(-2.0 * FP)); // −2·fp
+    let got_b = receiver.receive(&narrow_b).expect("node B syncs");
+    assert_eq!(
+        Packet::from_bits(&got_b.bits).expect("node B parses"),
+        pkt_b,
+        "node B through harmonic −2"
+    );
+}
+
+#[test]
+fn without_the_tma_the_same_two_nodes_collide() {
+    // Control experiment: bypass the TMA (a plain dipole AP) and the two
+    // co-channel signals land on top of each other.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5E);
+    let link_a = link(-58.0, -72.0);
+    let link_b = link(-60.0, -75.0);
+    let pkt_a = Packet::new(1, 100, &b"same channel, beam one"[..]);
+    let pkt_b = Packet::new(2, 200, &b"same channel, beam minus two"[..]);
+    let wave_a = link_a.clean_waveform(&pkt_a.to_bits());
+    let wave_b = link_b.clean_waveform(&pkt_b.to_bits());
+    let mut capture = IqBuffer::zeros(wave_a.len().max(wave_b.len()), Hertz::new(FS));
+    for (i, s) in wave_a.samples().iter().enumerate() {
+        capture.samples_mut()[i] += *s;
+    }
+    for (i, s) in wave_b.samples().iter().enumerate() {
+        capture.samples_mut()[i] += *s;
+    }
+    let noise = mmx::units::thermal_noise_dbm(Hertz::new(FS), Db::new(2.6)).milliwatts();
+    AwgnSource::with_power(noise).add_to(&mut capture, &mut rng);
+
+    // Try to decode node A straight off the capture (decimate to the
+    // receiver rate first, channel at DC).
+    let chan = Channelizer::new(Hertz::new(FS), 4);
+    let narrow = chan.extract(&capture, Hertz::new(0.0));
+    let intact = matches!(
+        rx().receive(&narrow).map(|r| Packet::from_bits(&r.bits)),
+        Some(Ok(p)) if p == pkt_a
+    );
+    assert!(!intact, "co-channel packets must collide without the TMA");
+}
+
+#[test]
+fn tma_conversion_loss_is_within_budget() {
+    // The harmonic copy carries sinc(πm/N)·(element gain) of the input —
+    // the duty-cycle price of the single-chain design. Verify the
+    // received symbol power through harmonic 1 against the analytic
+    // coefficient.
+    let t = tma();
+    let dir = t.harmonic_direction(1).expect("beam");
+    let tone = IqBuffer::tone(1.0, Hertz::new(0.0), 32_768, Hertz::new(FS));
+    let thru = t.modulate_block(&tone, dir);
+    let chan = Channelizer::new(Hertz::new(FS), 4);
+    let narrow = chan.extract(&thru, Hertz::new(FP));
+    let steady = &narrow.samples()[500..];
+    let measured: f64 = steady.iter().map(|s| s.norm_sq()).sum::<f64>() / steady.len() as f64;
+    let analytic = t.harmonic_response(1, dir).norm_sq();
+    assert!(
+        (10.0 * (measured / analytic).log10()).abs() < 1.0,
+        "measured {measured:.3e} vs analytic {analytic:.3e}"
+    );
+}
