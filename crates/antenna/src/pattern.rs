@@ -38,9 +38,35 @@ impl SampledPattern {
         self.gains.is_empty()
     }
 
+    /// The sampling step in degrees.
+    pub fn step_deg(&self) -> f64 {
+        self.step_deg
+    }
+
     /// The azimuth of sample `i`.
     pub fn azimuth(&self, i: usize) -> Degrees {
         Degrees::new(-180.0 + i as f64 * self.step_deg)
+    }
+
+    /// Interpolated gain at an arbitrary azimuth — the O(1) lookup-table
+    /// mode for hot loops that would otherwise re-evaluate the analytic
+    /// pattern (array factor trig) per call.
+    ///
+    /// Linear interpolation in dB between the two neighboring samples,
+    /// wrapping across ±180°. Accuracy is set by the sampling step;
+    /// at 0.25° the error against the analytic two-element patterns is
+    /// far below the channel model's fidelity except inside deep nulls
+    /// (where both values are negligible anyway).
+    pub fn gain(&self, az: Degrees) -> Db {
+        let n = self.gains.len();
+        // Position in samples from -180°, wrapped into [0, n).
+        let pos = ((az.wrapped().value() + 180.0) / self.step_deg).max(0.0);
+        let i0 = pos.floor() as usize % n;
+        let i1 = (i0 + 1) % n;
+        let frac = pos - pos.floor();
+        let g0 = self.gains[i0].value();
+        let g1 = self.gains[i1].value();
+        Db::new(g0 + (g1 - g0) * frac)
     }
 
     /// Gain at sample `i`.
@@ -223,6 +249,34 @@ mod tests {
         assert_eq!(p.azimuth(0).value(), -180.0);
         assert_eq!(p.azimuth(359).value(), 179.0);
         assert_eq!(p.iter().count(), 360);
+    }
+
+    #[test]
+    fn interpolated_gain_matches_samples_and_midpoints() {
+        // A pattern with a known analytic shape: gain = azimuth/10 dB.
+        let p = SampledPattern::sample(1.0, |az| Db::new(az.value() / 10.0));
+        // Exact at sample points...
+        assert!((p.gain(Degrees::new(-180.0)).value() + 18.0).abs() < 1e-12);
+        assert!((p.gain(Degrees::new(42.0)).value() - 4.2).abs() < 1e-12);
+        // ...linear in between...
+        assert!((p.gain(Degrees::new(42.5)).value() - 4.25).abs() < 1e-12);
+        // ...and wrapping across ±180° (interpolates -180 → 179 samples).
+        let wrap = p.gain(Degrees::new(179.5)).value();
+        assert!((wrap - (17.9 - 18.0) / 2.0).abs() < 1e-9, "wrap = {wrap}");
+    }
+
+    #[test]
+    fn interpolated_gain_tracks_real_beam_pattern() {
+        let (_, p1) = patterns();
+        let b = NodeBeams::orthogonal(Hertz::from_ghz(24.0));
+        for d in -300..300 {
+            let az = Degrees::new(d as f64 / 10.0 + 0.026);
+            let exact = b.gain(OtamBeam::Beam1, az).value();
+            let fast = p1.gain(az).value();
+            if exact > -20.0 {
+                assert!((exact - fast).abs() < 0.5, "az={az}: {exact} vs {fast}");
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use mmx_dsp::stats::{mean, median};
 use mmx_phy::ber::{ask_ber, fsk_ber, joint_ber};
 use mmx_phy::coding::{convolutional, hamming};
 use mmx_units::{Db, Degrees, Seconds};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// How node orientations are drawn for an ablation.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +55,9 @@ impl OrientationPrior {
 
 /// Random placements in the paper testbed, evaluated against a given
 /// beam design. Returns (separations dB, mark SNRs dB).
+///
+/// Each placement is an independent `(seed, index)`-derived trial on the
+/// parallel engine, so the vectors are bit-identical at any thread count.
 fn placements(
     beams: &NodeBeams,
     count: usize,
@@ -65,12 +68,9 @@ fn placements(
     let ap = testbed.ap();
     let cfg = testbed.config();
     let tracer = mmx_channel::Tracer::new(testbed.room(), cfg.carrier, cfg.path_loss_exponent);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut seps = Vec::with_capacity(count);
-    let mut snrs = Vec::with_capacity(count);
-    for _ in 0..count {
+    let pairs = crate::par::run_trials(seed, count, |_i, rng| {
         let pos = Vec2::new(rng.gen_range(0.4..5.2), rng.gen_range(0.4..3.6));
-        let facing = (ap.position - pos).bearing() + Degrees::new(prior.draw(&mut rng));
+        let facing = (ap.position - pos).bearing() + Degrees::new(prior.draw(rng));
         let ch = beam_channel(
             &tracer,
             Pose::new(pos, facing),
@@ -79,12 +79,11 @@ fn placements(
             mmx_antenna::Element::ApDipole,
             &[],
         );
-        seps.push(ch.level_separation().value().min(60.0));
         let mark = ch.gain(ch.stronger_beam());
         let snr = (cfg.tx_power - cfg.implementation_loss + mark) - cfg.noise_floor();
-        snrs.push(snr.value());
-    }
-    (seps, snrs)
+        (ch.level_separation().value().min(60.0), snr.value())
+    });
+    pairs.into_iter().unzip()
 }
 
 /// §6.2 ablation: fraction of placements where the two beams arrive with
@@ -215,7 +214,7 @@ pub fn power_control_ablation(seed: u64) -> TextTable {
     use mmx_units::{BitRate, Hertz, Seconds};
     use rand::SeedableRng;
 
-    let run = |power_control: bool| {
+    let run = |power_control: bool| -> mmx_net::sim::NetworkReport {
         let room = Room::rectangular(6.0, 4.0, Material::Drywall);
         let ap_pos = Vec2::new(5.7, 2.0);
         let ap = ApStation::with_tma(
@@ -247,8 +246,11 @@ pub fn power_control_ablation(seed: u64) -> TextTable {
         }
         sim.run().expect("20-node topology runs")
     };
-    let off = run(false);
-    let on = run(true);
+    // The two arms share no RNG state (each derives its own from the
+    // seed), so they run concurrently on the parallel engine.
+    let mut reports = crate::par::run_indexed(2, |i| run(i == 1));
+    let on = reports.pop().expect("two runs");
+    let off = reports.pop().expect("two runs");
     let mut t = TextTable::new([
         "power control",
         "mean SINR dB",
@@ -268,32 +270,40 @@ pub fn power_control_ablation(seed: u64) -> TextTable {
 
 /// The §9.3 coding extension: BER through a BSC at the raw channel's
 /// error rate, for uncoded / Hamming(7,4) / convolutional K=7.
+///
+/// The four operating points are independent trials (each crosses the
+/// BSC with its own `(seed, index)`-derived RNG) fanned across the
+/// parallel engine.
 pub fn coding_ablation(bits_per_point: usize, seed: u64) -> TextTable {
-    let mut t = TextTable::new(["raw BER", "uncoded", "Hamming(7,4)", "conv K=7 r=1/2"]);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    for &p in &[1e-3, 3e-3, 1e-2, 3e-2] {
+    const RAW_BERS: [f64; 4] = [1e-3, 3e-3, 1e-2, 3e-2];
+    let rows = crate::par::run_trials(seed, RAW_BERS.len(), |i, rng| {
+        let p = RAW_BERS[i];
         let mut prbs = mmx_dsp::prbs::Prbs::prbs15(seed as u32 | 1);
         let data = prbs.bits(bits_per_point);
-        let bsc = |bits: &[bool], rng: &mut rand::rngs::StdRng| -> Vec<bool> {
+        let mut bsc = |bits: &[bool]| -> Vec<bool> {
             bits.iter().map(|&b| b ^ (rng.gen::<f64>() < p)).collect()
         };
         // Uncoded.
-        let rx_raw = bsc(&data, &mut rng);
+        let rx_raw = bsc(&data);
         let ber_raw = mmx_phy::bits::bit_error_rate(&data, &rx_raw);
         // Hamming.
         let ham = hamming::encode(&data);
-        let rx_ham = hamming::decode(&bsc(&ham, &mut rng));
+        let rx_ham = hamming::decode(&bsc(&ham));
         let ber_ham = mmx_phy::bits::bit_error_rate(&data, &rx_ham[..data.len()]);
         // Convolutional.
         let conv = convolutional::encode(&data);
-        let rx_conv = convolutional::decode(&bsc(&conv, &mut rng));
+        let rx_conv = convolutional::decode(&bsc(&conv));
         let ber_conv = mmx_phy::bits::bit_error_rate(&data, &rx_conv);
-        t.row([
+        [
             format!("{p:.0e}"),
             format!("{:.1e}", ber_raw.max(1e-7)),
             format!("{:.1e}", ber_ham.max(1e-7)),
             format!("{:.1e}", ber_conv.max(1e-7)),
-        ]);
+        ]
+    });
+    let mut t = TextTable::new(["raw BER", "uncoded", "Hamming(7,4)", "conv K=7 r=1/2"]);
+    for row in rows {
+        t.row(row);
     }
     t
 }

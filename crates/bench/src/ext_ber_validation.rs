@@ -16,7 +16,6 @@ use mmx_phy::bits::bit_error_rate;
 use mmx_phy::otam::{OtamConfig, OtamLink};
 use mmx_phy::packet::PREAMBLE;
 use mmx_units::{Db, DbmPower};
-use rand::SeedableRng;
 
 /// One validation point.
 #[derive(Debug, Clone, Copy)]
@@ -73,41 +72,43 @@ fn sweep(
     bits_per_point: usize,
     seed: u64,
     separation_db: f64,
-    theory: impl Fn(f64) -> f64,
+    theory: impl Fn(f64) -> f64 + Sync,
 ) -> Vec<BerPoint> {
     let snrs = [6.0, 8.0, 10.0, 12.0, 14.0];
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    snrs.iter()
-        .map(|&snr| {
-            let link = calibrated_link(snr, separation_db);
-            let mut errors = 0usize;
-            let mut total = 0usize;
-            let chunk = 2000;
-            while total < bits_per_point {
-                let mut prbs = mmx_dsp::prbs::Prbs::prbs15((seed as u32) | 1);
-                let mut bits = PREAMBLE.to_vec();
-                let payload = prbs.bits(chunk);
-                bits.extend(&payload);
-                let wave = link.waveform(&bits, &mut rng);
-                if let Some(rx) = link.receive(&wave) {
-                    let n = payload.len().min(rx.bits.len());
-                    errors +=
-                        (bit_error_rate(&payload[..n], &rx.bits[..n]) * n as f64).round() as usize;
-                    total += n;
-                } else {
-                    // Sync loss at very low SNR: count the chunk as lost.
-                    errors += chunk / 2;
-                    total += chunk;
-                }
+    // Each SNR point accumulates its own bits with its own
+    // `(seed, index)`-derived noise RNG, so points fan out across the
+    // parallel engine with bit-identical results at any thread count.
+    crate::par::run_trials(seed, snrs.len(), |i, rng| {
+        let snr = snrs[i];
+        let link = calibrated_link(snr, separation_db);
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        let chunk = 2000;
+        let mut wave = mmx_dsp::IqBuffer::empty(link.config().sample_rate);
+        while total < bits_per_point {
+            let mut prbs = mmx_dsp::prbs::Prbs::prbs15((seed as u32) | 1);
+            let mut bits = PREAMBLE.to_vec();
+            let payload = prbs.bits(chunk);
+            bits.extend(&payload);
+            link.waveform_into(&bits, rng, &mut wave);
+            if let Some(rx) = link.receive(&wave) {
+                let n = payload.len().min(rx.bits.len());
+                errors +=
+                    (bit_error_rate(&payload[..n], &rx.bits[..n]) * n as f64).round() as usize;
+                total += n;
+            } else {
+                // Sync loss at very low SNR: count the chunk as lost.
+                errors += chunk / 2;
+                total += chunk;
             }
-            BerPoint {
-                snr_db: snr,
-                measured: errors as f64 / total as f64,
-                theory: theory(snr),
-                bits: total,
-            }
-        })
-        .collect()
+        }
+        BerPoint {
+            snr_db: snr,
+            measured: errors as f64 / total as f64,
+            theory: theory(snr),
+            bits: total,
+        }
+    })
 }
 
 /// Renders a sweep.

@@ -6,6 +6,7 @@
 //! tables. Paper numbers: without OTAM median 1e-5 and p90 0.3; with
 //! OTAM median 1e-12 and p90 1e-3.
 
+use crate::par;
 use mmx_channel::blockage::HumanBlocker;
 use mmx_channel::response::Pose;
 use mmx_channel::Vec2;
@@ -14,7 +15,7 @@ use mmx_core::Testbed;
 use mmx_dsp::stats::quantile;
 use mmx_phy::ber::{clamp_for_plot, fsk_ber, ook_ber};
 use mmx_units::{Db, Degrees};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// One placement's BER pair.
 #[derive(Debug, Clone, Copy)]
@@ -27,30 +28,31 @@ pub struct BerSample {
 
 /// Draws `count` random placements (position, ±60° orientation, §9.2's
 /// LoS blocker) and computes both BERs from the SNR tables.
+///
+/// Placements are independent trials on the parallel engine: each one
+/// draws from its own `(seed, index)`-derived RNG, so the sample set is
+/// bit-identical at any thread count.
 pub fn samples(count: usize, seed: u64) -> Vec<BerSample> {
     let testbed = Testbed::paper_default();
     let ap = testbed.ap().position;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| {
-            let pos = Vec2::new(rng.gen_range(0.4..5.2), rng.gen_range(0.4..3.6));
-            let facing = (ap - pos).bearing() + Degrees::new(rng.gen_range(-60.0..60.0));
-            let blocker = HumanBlocker::typical((pos + ap) / 2.0);
-            let obs = testbed.observe(Pose::new(pos, facing), &[blocker]);
-            // The paper's method (§9.3): substitute the measured SNR into
-            // the standard ASK table — the OOK curve on the mark SNR —
-            // with the FSK curve when the levels are too close for ASK.
-            let with = if obs.separation >= Db::new(2.0) {
-                ook_ber(obs.snr_otam)
-            } else {
-                fsk_ber(obs.snr_otam)
-            };
-            BerSample {
-                without: clamp_for_plot(ook_ber(obs.snr_beam1)),
-                with: clamp_for_plot(with),
-            }
-        })
-        .collect()
+    par::run_trials(seed, count, |_i, rng| {
+        let pos = Vec2::new(rng.gen_range(0.4..5.2), rng.gen_range(0.4..3.6));
+        let facing = (ap - pos).bearing() + Degrees::new(rng.gen_range(-60.0..60.0));
+        let blocker = HumanBlocker::typical((pos + ap) / 2.0);
+        let obs = testbed.observe(Pose::new(pos, facing), &[blocker]);
+        // The paper's method (§9.3): substitute the measured SNR into
+        // the standard ASK table — the OOK curve on the mark SNR —
+        // with the FSK curve when the levels are too close for ASK.
+        let with = if obs.separation >= Db::new(2.0) {
+            ook_ber(obs.snr_otam)
+        } else {
+            fsk_ber(obs.snr_otam)
+        };
+        BerSample {
+            without: clamp_for_plot(ook_ber(obs.snr_beam1)),
+            with: clamp_for_plot(with),
+        }
+    })
 }
 
 /// The CDF summary quoted in the paper.

@@ -31,24 +31,24 @@ pub fn corridor() -> Testbed {
     Testbed::new(room, ap, MmxConfig::paper())
 }
 
-/// Sweeps distance 1–18 m in both scenarios.
+/// Sweeps distance 1–18 m in both scenarios. Distance points are
+/// independent and run on the parallel engine (no randomness involved).
 pub fn sweep() -> Vec<RangePoint> {
     let testbed = corridor();
     let ap = testbed.ap().position;
-    (1..=18)
-        .map(|d| {
-            let pos = Vec2::new(ap.x - d as f64, 2.0);
-            let facing = (ap - pos).bearing();
-            let s1 = testbed.observe(Pose::new(pos, facing), &[]);
-            // Scenario 2: rotate 30° so the AP is on a Beam-0 arm.
-            let s2 = testbed.observe(Pose::new(pos, facing + Degrees::new(30.0)), &[]);
-            RangePoint {
-                distance_m: d as f64,
-                snr_facing: s1.snr_otam.value(),
-                snr_not_facing: s2.snr_otam.value(),
-            }
-        })
-        .collect()
+    crate::par::run_indexed(18, |i| {
+        let d = i + 1;
+        let pos = Vec2::new(ap.x - d as f64, 2.0);
+        let facing = (ap - pos).bearing();
+        let s1 = testbed.observe(Pose::new(pos, facing), &[]);
+        // Scenario 2: rotate 30° so the AP is on a Beam-0 arm.
+        let s2 = testbed.observe(Pose::new(pos, facing + Degrees::new(30.0)), &[]);
+        RangePoint {
+            distance_m: d as f64,
+            snr_facing: s1.snr_otam.value(),
+            snr_not_facing: s2.snr_otam.value(),
+        }
+    })
 }
 
 /// Renders the figure's two series.

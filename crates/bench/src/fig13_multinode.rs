@@ -73,15 +73,28 @@ fn random_topology(n: usize, seed: u64) -> NetworkSim {
 }
 
 /// Runs `topologies` random topologies per node count.
+///
+/// Every (node count, topology) pair is an independent simulation whose
+/// seed depends only on the pair, so the full grid fans out across the
+/// parallel engine and reassembles bit-identically at any thread count.
 pub fn sweep(topologies: usize, seed: u64) -> Vec<MultiNodePoint> {
+    let jobs: Vec<(usize, u64)> = NODE_COUNTS
+        .iter()
+        .flat_map(|&n| (0..topologies).map(move |t| (n, seed + t as u64 * 1000 + n as u64)))
+        .collect();
+    let reports = crate::par::run_indexed(jobs.len(), |i| {
+        let (n, topo_seed) = jobs[i];
+        random_topology(n, topo_seed)
+            .run()
+            .expect("Fig. 13 topology must run")
+    });
     NODE_COUNTS
         .iter()
-        .map(|&n| {
+        .enumerate()
+        .map(|(ci, &n)| {
             let mut means = Vec::new();
             let mut used_sdm = false;
-            for t in 0..topologies {
-                let sim = random_topology(n, seed + t as u64 * 1000 + n as u64);
-                let report = sim.run().expect("Fig. 13 topology must run");
+            for report in &reports[ci * topologies..(ci + 1) * topologies] {
                 used_sdm |= report.used_sdm;
                 means.extend(report.nodes.iter().map(|r| r.mean_sinr_db));
             }

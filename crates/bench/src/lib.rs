@@ -38,4 +38,5 @@ pub mod fig11_ber_cdf;
 pub mod fig12_range;
 pub mod fig13_multinode;
 pub mod output;
+pub mod par;
 pub mod table1;

@@ -1,0 +1,66 @@
+//! Parallel-engine determinism: every sweep must render a byte-identical
+//! CSV at any worker count, because each trial derives its RNG from
+//! `(seed, trial_index)` rather than from a shared sequential stream.
+//!
+//! These tests pin the thread count through `par::set_threads`, which
+//! overrides both the `MMX_THREADS` environment variable and the
+//! detected CPU count.
+
+use mmx_bench::par;
+
+/// The worker-count override is process-global, so tests that flip it
+/// must not interleave.
+static OVERRIDE_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+/// Renders a sweep's CSV at 1 worker and again at `threads`, asserting
+/// byte equality. Restores the override afterwards so tests in the same
+/// process do not leak configuration into each other.
+fn assert_csv_identical(threads: usize, label: &str, render: impl Fn() -> String) {
+    let _guard = OVERRIDE_LOCK.lock();
+    par::set_threads(1);
+    let serial = render();
+    par::set_threads(threads);
+    let parallel = render();
+    par::set_threads(0);
+    assert_eq!(
+        serial, parallel,
+        "{label}: CSV differs between 1 and {threads} workers"
+    );
+}
+
+#[test]
+fn fig11_ber_cdf_is_thread_count_invariant() {
+    assert_csv_identical(4, "fig11", || {
+        mmx_bench::fig11_ber_cdf::table(&mmx_bench::fig11_ber_cdf::samples(40, 7)).to_csv()
+    });
+}
+
+#[test]
+fn fig12_range_is_thread_count_invariant() {
+    assert_csv_identical(4, "fig12", || {
+        mmx_bench::fig12_range::table(&mmx_bench::fig12_range::sweep()).to_csv()
+    });
+}
+
+#[test]
+fn fig13_multinode_is_thread_count_invariant() {
+    assert_csv_identical(4, "fig13", || {
+        mmx_bench::fig13_multinode::table(&mmx_bench::fig13_multinode::sweep(2, 5)).to_csv()
+    });
+}
+
+#[test]
+fn ext_ber_validation_is_thread_count_invariant() {
+    assert_csv_identical(4, "ext_ber", || {
+        let pts = mmx_bench::ext_ber_validation::ask_sweep(4_000, 9);
+        mmx_bench::ext_ber_validation::table("ASK", &pts).to_csv()
+    });
+}
+
+#[test]
+fn odd_worker_counts_agree_too() {
+    // 3 workers exercises uneven work distribution over the 18 distances.
+    assert_csv_identical(3, "fig12@3", || {
+        mmx_bench::fig12_range::table(&mmx_bench::fig12_range::sweep()).to_csv()
+    });
+}

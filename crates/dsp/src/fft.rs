@@ -1,79 +1,205 @@
-//! Iterative radix-2 FFT.
+//! Iterative radix-2 FFT with cached plans.
 //!
 //! Used by the FSK discriminator (to separate the Beam-0 and Beam-1 carrier
 //! offsets), the TMA harmonic analysis, and the spectrum plots in the
 //! evaluation harness. For non-power-of-two lengths callers should zero-pad
 //! with [`next_pow2`].
+//!
+//! [`FftPlan`] precomputes the bit-reversal permutation and per-stage
+//! twiddle tables for one transform size; the free [`fft`]/[`ifft`]
+//! functions are thin wrappers over a thread-local plan cache, so repeated
+//! transforms of the same size (the common case in the demodulators) pay
+//! the trigonometry only once. The tables are generated with the exact
+//! recurrence the direct loop used, so planned and unplanned results are
+//! bit-identical.
 
 use crate::complex::Complex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Returns the smallest power of two `>= n` (and `>= 1`).
 pub fn next_pow2(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
 
+/// A reusable FFT plan for one power-of-two size: the bit-reversal
+/// permutation plus forward and inverse per-stage twiddle tables.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed counterpart of each index.
+    rev: Vec<u32>,
+    /// Forward twiddles, stages concatenated: `len = 2, 4, …, n`, each
+    /// stage contributing `len/2` factors (`n − 1` entries total).
+    fwd: Vec<Complex>,
+    /// Inverse twiddles, same layout.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for `n`-point transforms. Panics unless `n` is a
+    /// power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| {
+                if n <= 1 {
+                    i
+                } else {
+                    i.reverse_bits() >> (u32::BITS - bits)
+                }
+            })
+            .collect();
+        // Per-stage tables via the same `w *= wlen` recurrence as the
+        // original in-loop computation, so results stay bit-identical.
+        let table = |sign: f64| -> Vec<Complex> {
+            let mut t = Vec::with_capacity(n.saturating_sub(1));
+            let mut len = 2;
+            while len <= n {
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex::cis(ang);
+                let mut w = Complex::ONE;
+                for _ in 0..len / 2 {
+                    t.push(w);
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+            t
+        };
+        FftPlan {
+            n,
+            rev,
+            fwd: table(-1.0),
+            inv: table(1.0),
+        }
+    }
+
+    /// The transform size this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate zero-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT. No scaling is applied (matching the usual
+    /// convention; [`FftPlan::ifft`] applies `1/N`). Panics unless
+    /// `x.len()` matches the plan.
+    pub fn fft(&self, x: &mut [Complex]) {
+        self.dispatch(x, false);
+    }
+
+    /// In-place inverse FFT with `1/N` normalization. Panics unless
+    /// `x.len()` matches the plan.
+    pub fn ifft(&self, x: &mut [Complex]) {
+        self.dispatch(x, true);
+        let scale = 1.0 / self.n as f64;
+        for v in x.iter_mut() {
+            *v = *v * scale;
+        }
+    }
+
+    fn dispatch(&self, x: &mut [Complex], inverse: bool) {
+        assert_eq!(x.len(), self.n, "buffer length does not match FFT plan");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+
+        // Bit-reversal permutation from the cached table.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if j > i {
+                x.swap(i, j);
+            }
+        }
+
+        // Iterative butterflies with cached twiddles.
+        let twiddles = if inverse { &self.inv } else { &self.fwd };
+        let mut len = 2;
+        let mut stage_base = 0;
+        while len <= n {
+            let half = len / 2;
+            let stage = &twiddles[stage_base..stage_base + half];
+            for chunk in x.chunks_mut(len) {
+                for (i, &w) in stage.iter().enumerate() {
+                    let u = chunk[i];
+                    let v = chunk[i + half] * w;
+                    chunk[i] = u + v;
+                    chunk[i + half] = u - v;
+                }
+            }
+            stage_base += half;
+            len <<= 1;
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread plan cache keyed by transform size. The workspace's
+    /// transforms cluster on a handful of sizes (symbol windows, spectrum
+    /// plots), so this stays tiny while removing all repeated twiddle
+    /// trigonometry.
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+}
+
+/// The cached plan for `n`-point transforms on this thread, building it
+/// on first use. Panics unless `n` is a power of two.
+pub fn plan(n: usize) -> Rc<FftPlan> {
+    PLAN_CACHE.with(|cache| {
+        Rc::clone(
+            cache
+                .borrow_mut()
+                .entry(n)
+                .or_insert_with(|| Rc::new(FftPlan::new(n))),
+        )
+    })
+}
+
 /// In-place forward FFT. Panics unless `x.len()` is a power of two.
 ///
 /// Uses the standard bit-reversal permutation followed by iterative
-/// Cooley–Tukey butterflies. No scaling is applied (matching the usual
-/// convention; [`ifft`] applies `1/N`).
+/// Cooley–Tukey butterflies, via the thread-local plan cache. No scaling
+/// is applied (matching the usual convention; [`ifft`] applies `1/N`).
 pub fn fft(x: &mut [Complex]) {
-    fft_dir(x, false);
+    plan(x.len()).fft(x);
 }
 
 /// In-place inverse FFT with `1/N` normalization. Panics unless the length
 /// is a power of two.
 pub fn ifft(x: &mut [Complex]) {
-    fft_dir(x, true);
-    let n = x.len() as f64;
-    for v in x.iter_mut() {
-        *v = *v / n;
-    }
-}
-
-fn fft_dir(x: &mut [Complex], inverse: bool) {
-    let n = x.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two");
-    if n <= 1 {
-        return;
-    }
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            x.swap(i, j);
-        }
-    }
-
-    // Iterative butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        for chunk in x.chunks_mut(len) {
-            let mut w = Complex::ONE;
-            let half = len / 2;
-            for i in 0..half {
-                let u = chunk[i];
-                let v = chunk[i + half] * w;
-                chunk[i] = u + v;
-                chunk[i + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
+    plan(x.len()).ifft(x);
 }
 
 /// Forward FFT of a borrowed slice, zero-padded to the next power of two.
 pub fn fft_padded(x: &[Complex]) -> Vec<Complex> {
-    let mut buf = x.to_vec();
-    buf.resize(next_pow2(x.len()), Complex::ZERO);
+    let n = next_pow2(x.len());
+    let mut buf = Vec::with_capacity(n);
+    buf.extend_from_slice(x);
+    buf.resize(n, Complex::ZERO);
     fft(&mut buf);
     buf
+}
+
+/// Forward FFT of a borrowed slice into caller-owned scratch, zero-padded
+/// to the next power of two. Reusing `scratch` across calls (the
+/// demodulator inner-loop case) eliminates the per-call allocation of
+/// [`fft_padded`].
+pub fn fft_padded_into(x: &[Complex], scratch: &mut Vec<Complex>) {
+    let n = next_pow2(x.len());
+    scratch.clear();
+    scratch.reserve(n);
+    scratch.extend_from_slice(x);
+    scratch.resize(n, Complex::ZERO);
+    fft(scratch);
 }
 
 /// Power spectrum `|X[k]|²/N` of a signal (zero-padded to a power of two).

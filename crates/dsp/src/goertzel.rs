@@ -57,7 +57,65 @@ impl Goertzel {
 /// Compares the energies of two candidate tones over one symbol and returns
 /// `true` when `tone1` is the stronger — i.e. the FSK bit decision.
 pub fn binary_fsk_decision(x: &[Complex], tone0: &Goertzel, tone1: &Goertzel) -> bool {
-    tone1.energy(x) > tone0.energy(x)
+    let (e0, e1) = GoertzelPair::from_detectors(tone0, tone1).energies(x);
+    e1 > e0
+}
+
+/// Two Goertzel bins evaluated in a single pass over the block.
+///
+/// This is exactly the FSK discriminator's shape: every symbol needs the
+/// energies at the Beam-0 and Beam-1 tone offsets. Fusing the two
+/// correlations halves the sweeps over the sample block, and each
+/// accumulator performs the same operation sequence as a standalone
+/// [`Goertzel`], so the energies are bit-identical to two separate passes.
+#[derive(Debug, Clone, Copy)]
+pub struct GoertzelPair {
+    step0: Complex,
+    step1: Complex,
+}
+
+impl GoertzelPair {
+    /// Creates a fused detector for `tone0` and `tone1` at `sample_rate`.
+    pub fn new(tone0: Hertz, tone1: Hertz, sample_rate: Hertz) -> Self {
+        Self::from_detectors(
+            &Goertzel::new(tone0, sample_rate),
+            &Goertzel::new(tone1, sample_rate),
+        )
+    }
+
+    /// Fuses two existing single-bin detectors.
+    pub fn from_detectors(tone0: &Goertzel, tone1: &Goertzel) -> Self {
+        GoertzelPair {
+            step0: Complex::cis(-tone0.omega),
+            step1: Complex::cis(-tone1.omega),
+        }
+    }
+
+    /// Both complex tone correlations of `x` in one pass:
+    /// `(sum x[n]·e^(-jω0 n), sum x[n]·e^(-jω1 n))`.
+    pub fn correlate(&self, x: &[Complex]) -> (Complex, Complex) {
+        let mut acc0 = Complex::ZERO;
+        let mut acc1 = Complex::ZERO;
+        let mut phase0 = Complex::ONE;
+        let mut phase1 = Complex::ONE;
+        for &s in x {
+            acc0 += s * phase0;
+            acc1 += s * phase1;
+            phase0 *= self.step0;
+            phase1 *= self.step1;
+        }
+        (acc0, acc1)
+    }
+
+    /// Both tone energies `|correlate|² / N` in one pass.
+    pub fn energies(&self, x: &[Complex]) -> (f64, f64) {
+        if x.is_empty() {
+            return (0.0, 0.0);
+        }
+        let (c0, c1) = self.correlate(x);
+        let n = x.len() as f64;
+        (c0.norm_sq() / n, c1.norm_sq() / n)
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +185,33 @@ mod tests {
     fn empty_block_has_zero_energy() {
         let g = Goertzel::new(Hertz::from_mhz(1.0), rate());
         assert_eq!(g.energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn pair_is_bit_identical_to_two_passes() {
+        let f0 = Hertz::from_mhz(-1.0);
+        let f1 = Hertz::from_mhz(1.0);
+        let g0 = Goertzel::new(f0, rate());
+        let g1 = Goertzel::new(f1, rate());
+        let pair = GoertzelPair::new(f0, f1, rate());
+        // A messy block: two tones plus a chirp-ish phase ramp.
+        let mut buf = IqBuffer::tone(0.8, f0, 250, rate());
+        let other = IqBuffer::tone(0.3, f1, 250, rate());
+        for (a, b) in buf.samples_mut().iter_mut().zip(other.samples()) {
+            *a += *b;
+        }
+        let (e0, e1) = pair.energies(buf.samples());
+        assert_eq!(e0, g0.energy(buf.samples()));
+        assert_eq!(e1, g1.energy(buf.samples()));
+        let (c0, c1) = pair.correlate(buf.samples());
+        assert_eq!(c0, g0.correlate(buf.samples()));
+        assert_eq!(c1, g1.correlate(buf.samples()));
+    }
+
+    #[test]
+    fn pair_empty_block_is_zero() {
+        let pair = GoertzelPair::new(Hertz::from_mhz(1.0), Hertz::from_mhz(2.0), rate());
+        assert_eq!(pair.energies(&[]), (0.0, 0.0));
     }
 
     #[test]

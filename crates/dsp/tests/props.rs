@@ -2,7 +2,7 @@
 
 use mmx_dsp::complex::Complex;
 use mmx_dsp::envelope::{per_symbol_mean, Slicer};
-use mmx_dsp::fft::{fft, ifft};
+use mmx_dsp::fft::{fft, ifft, FftPlan};
 use mmx_dsp::goertzel::Goertzel;
 use mmx_dsp::signal::IqBuffer;
 use mmx_dsp::stats::{quantile, Ecdf};
@@ -11,6 +11,21 @@ use proptest::prelude::*;
 
 fn arb_complex() -> impl Strategy<Value = Complex> {
     (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+/// Direct O(n²) DFT — the unoptimized reference the planned FFT must match.
+fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            x.iter()
+                .enumerate()
+                .map(|(t, &v)| {
+                    v * Complex::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                })
+                .fold(Complex::ZERO, |a, b| a + b)
+        })
+        .collect()
 }
 
 proptest! {
@@ -44,6 +59,50 @@ proptest! {
         fft(&mut padded);
         ifft(&mut padded);
         for (a, b) in padded.iter().zip(&reference) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn planned_fft_matches_naive_dft(
+        vals in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..129),
+        log2_extra in 0usize..3,
+    ) {
+        // Pad to a power of two at least the value count (exercises sizes
+        // 1..512 across cases).
+        let mut x: Vec<Complex> = vals.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        let n = mmx_dsp::fft::next_pow2(x.len()) << log2_extra;
+        x.resize(n, Complex::ZERO);
+        let reference = naive_dft(&x);
+        let plan = FftPlan::new(n);
+        let mut planned = x.clone();
+        plan.fft(&mut planned);
+        // The naive DFT accumulates error ~n·eps; scale the tolerance by
+        // the signal magnitude but keep it within the issue's 1e-9 band.
+        let scale: f64 = x.iter().map(|c| c.abs()).sum::<f64>().max(1.0);
+        for (a, b) in planned.iter().zip(&reference) {
+            prop_assert!((*a - *b).abs() < 1e-9 * scale, "{a:?} vs {b:?}");
+        }
+        // And the free function (thread-local plan cache) must agree with
+        // an explicitly constructed plan bit-for-bit.
+        let mut cached = x.clone();
+        fft(&mut cached);
+        for (a, b) in cached.iter().zip(&planned) {
+            prop_assert!(a == b, "plan cache diverged: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn planned_ifft_inverts_planned_fft(
+        vals in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..200),
+    ) {
+        let mut x: Vec<Complex> = vals.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+        x.resize(mmx_dsp::fft::next_pow2(x.len()), Complex::ZERO);
+        let plan = FftPlan::new(x.len());
+        let orig = x.clone();
+        plan.fft(&mut x);
+        plan.ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
             prop_assert!((*a - *b).abs() < 1e-9);
         }
     }

@@ -304,35 +304,53 @@ impl NetworkSim {
         (p, ch)
     }
 
-    /// SINR of node `i` given everyone's cached receive powers.
-    ///
-    /// The TMA only runs in SDM mode; in pure FDM the AP listens through
-    /// its dipole (the prototype configuration).
+    /// Precomputes the TMA spatial-gain matrix for one run:
+    /// `spatial[i][j]` is the gain of node `i`'s harmonic toward node
+    /// `j`'s direction. Slots and arrival angles are fixed for the whole
+    /// run, so this turns the O(nodes²) array-factor evaluations the SINR
+    /// loop would otherwise repeat per packet into a one-time cost —
+    /// exact, not interpolated. `None` when the TMA is inactive (pure
+    /// FDM: the AP listens through its dipole, all gains 0 dB).
+    fn spatial_gains(
+        &self,
+        slots: &[SdmSlot],
+        aoa: &[Degrees],
+        tma_active: bool,
+    ) -> Option<Vec<Vec<Db>>> {
+        let tma = self.ap.tma().filter(|_| tma_active)?;
+        Some(
+            slots
+                .iter()
+                .map(|s| {
+                    aoa.iter()
+                        .map(|&az| tma.harmonic_gain(s.harmonic, az))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// SINR of node `i` given everyone's cached receive powers and the
+    /// precomputed spatial-gain matrix from [`Self::spatial_gains`].
     fn sinr(
         &self,
         i: usize,
         slots: &[SdmSlot],
         rx: &[DbmPower],
-        aoa: &[Degrees],
+        spatial: Option<&Vec<Vec<Db>>>,
         bandwidth: Hertz,
-        tma_active: bool,
     ) -> Db {
         let noise = thermal_noise_dbm(bandwidth, self.ap.noise_figure());
-        let tma = self.ap.tma().filter(|_| tma_active);
-        let my_gain = tma
-            .map(|t| t.harmonic_gain(slots[i].harmonic, aoa[i]))
-            .unwrap_or(Db::ZERO);
+        let my_gain = spatial.map(|s| s[i][i]).unwrap_or(Db::ZERO);
         let wanted = rx[i] + my_gain;
         let mut terms = vec![noise];
         for j in 0..self.nodes.len() {
             if j == i {
                 continue;
             }
-            let spatial = tma
-                .map(|t| t.harmonic_gain(slots[i].harmonic, aoa[j]))
-                .unwrap_or(Db::ZERO);
+            let gain = spatial.map(|s| s[i][j]).unwrap_or(Db::ZERO);
             let acl = adjacent_channel_leakage(slots[i].channel.abs_diff(slots[j].channel));
-            terms.push(rx[j] + spatial + acl);
+            terms.push(rx[j] + gain + acl);
         }
         wanted - DbmPower::power_sum(terms)
     }
@@ -344,6 +362,7 @@ impl NetworkSim {
         }
         let (slots, rates, used_sdm) = self.plan_slots()?;
         let aoa = self.arrival_angles();
+        let spatial = self.spatial_gains(&slots, &aoa, used_sdm);
         let bandwidth = if used_sdm {
             self.cfg.sdm_channel_width
         } else {
@@ -411,7 +430,7 @@ impl NetworkSim {
         if self.cfg.rate_adaptation {
             let adapter = mmx_phy::rate::RateAdapter::standard();
             for i in 0..self.nodes.len() {
-                let sinr = self.sinr(i, &slots, &rx, &aoa, bandwidth, used_sdm);
+                let sinr = self.sinr(i, &slots, &rx, spatial.as_ref(), bandwidth);
                 // Refer the channel-band SINR to the granted symbol band.
                 let ref_gain =
                     Db::new(10.0 * (bandwidth.hz() / adapter.reference_rate().bps()).log10());
@@ -486,7 +505,7 @@ impl NetworkSim {
                     };
                     rx[i] = p - backoff[i];
                     seps[i] = ch.level_separation();
-                    let sinr = self.sinr(i, &slots, &rx, &aoa, bandwidth, used_sdm);
+                    let sinr = self.sinr(i, &slots, &rx, spatial.as_ref(), bandwidth);
                     sinr_sum[i] += sinr.value();
                     sinr_min[i] = sinr_min[i].min(sinr.value());
                     sent[i] += 1;
@@ -551,6 +570,47 @@ impl NetworkSim {
             trace,
         })
     }
+}
+
+/// Runs a batch of independent scenarios across worker threads.
+///
+/// Each simulation is fully self-seeded (`SimConfig::seed`), so the
+/// reports do not depend on scheduling: the result at index `i` is
+/// bit-identical to `sims[i].run()`, at any thread count including 1.
+/// Thread count comes from the `MMX_THREADS` environment variable when
+/// set, otherwise the machine's available parallelism.
+pub fn run_batch(sims: &[NetworkSim]) -> Vec<Result<NetworkReport, SimError>> {
+    let threads = std::env::var("MMX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(sims.len().max(1));
+    if threads <= 1 || sims.len() <= 1 {
+        return sims.iter().map(NetworkSim::run).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<Result<NetworkReport, SimError>>>> =
+        sims.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= sims.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(sims[i].run());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every scenario ran"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -643,6 +703,39 @@ mod tests {
             assert_eq!(x.sent, y.sent);
             assert_eq!(x.delivered, y.delivered);
         }
+    }
+
+    #[test]
+    fn batch_matches_serial_runs() {
+        // Scenarios with different sizes and seeds: the batch result at
+        // index i must be bit-identical to sims[i].run().
+        let mut sims = Vec::new();
+        for (n, seed) in [(1usize, 3u64), (3, 7), (5, 11), (2, 3)] {
+            let mut sim = sim_with_nodes(n);
+            sim.cfg.walkers = 1;
+            sim.cfg.seed = seed;
+            sims.push(sim);
+        }
+        let batch = run_batch(&sims);
+        for (sim, got) in sims.iter().zip(&batch) {
+            let want = sim.run().expect("scenario runs");
+            let got = got.as_ref().expect("batch scenario runs");
+            assert_eq!(got.used_sdm, want.used_sdm);
+            assert_eq!(got.nodes.len(), want.nodes.len());
+            for (g, w) in got.nodes.iter().zip(&want.nodes) {
+                assert_eq!(g.sent, w.sent);
+                assert_eq!(g.delivered, w.delivered);
+                assert_eq!(g.mean_sinr_db, w.mean_sinr_db);
+                assert_eq!(g.energy_j, w.energy_j);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_propagates_errors_in_place() {
+        let sims = vec![NetworkSim::new(room(), ap(), SimConfig::standard())];
+        let batch = run_batch(&sims);
+        assert_eq!(batch[0].as_ref().err(), Some(&SimError::Empty));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! amplitude, the AP can still decode by comparing the energies at the
 //! two tone offsets.
 
-use mmx_dsp::goertzel::Goertzel;
+use mmx_dsp::goertzel::GoertzelPair;
 use mmx_dsp::{Complex, IqBuffer};
 use mmx_units::Hertz;
 
@@ -59,26 +59,26 @@ pub fn modulate(cfg: &FskConfig, bits: &[bool], sample_rate: Hertz) -> IqBuffer 
 }
 
 /// Demodulates a symbol-aligned buffer by comparing Goertzel energies at
-/// the two tones, symbol by symbol.
+/// the two tones (both bins in a single pass per symbol), symbol by symbol.
 pub fn demodulate(cfg: &FskConfig, buf: &IqBuffer) -> Vec<bool> {
-    let g0 = Goertzel::new(cfg.f0, buf.sample_rate());
-    let g1 = Goertzel::new(cfg.f1, buf.sample_rate());
+    let pair = GoertzelPair::new(cfg.f0, cfg.f1, buf.sample_rate());
     buf.samples()
         .chunks_exact(cfg.samples_per_symbol)
-        .map(|sym| g1.energy(sym) > g0.energy(sym))
+        .map(|sym| {
+            let (e0, e1) = pair.energies(sym);
+            e1 > e0
+        })
         .collect()
 }
 
 /// Per-symbol discrimination margin: `E1 − E0` normalized by the total,
 /// in `[-1, 1]`. Useful for soft decisions and diagnostics.
 pub fn discrimination(cfg: &FskConfig, buf: &IqBuffer) -> Vec<f64> {
-    let g0 = Goertzel::new(cfg.f0, buf.sample_rate());
-    let g1 = Goertzel::new(cfg.f1, buf.sample_rate());
+    let pair = GoertzelPair::new(cfg.f0, cfg.f1, buf.sample_rate());
     buf.samples()
         .chunks_exact(cfg.samples_per_symbol)
         .map(|sym| {
-            let e0 = g0.energy(sym);
-            let e1 = g1.energy(sym);
+            let (e0, e1) = pair.energies(sym);
             if e0 + e1 > 0.0 {
                 (e1 - e0) / (e1 + e0)
             } else {

@@ -1,0 +1,301 @@
+//! Offline, API-compatible subset of `rand` 0.8.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `rand` crate cannot be vendored from crates.io. This stub implements the
+//! exact API surface the workspace uses — [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`] — on top of a deterministic xoshiro256++ core seeded
+//! through SplitMix64 (the same seeding construction rand itself uses for
+//! `seed_from_u64`).
+//!
+//! Determinism is the point: every generator in this crate is explicitly
+//! seeded, there is **no** `thread_rng`/`from_entropy` entry point, so any
+//! accidental use of ambient randomness in the workspace fails to compile.
+
+/// Low-level entropy source: 64-bit outputs.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = split_mix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = split_mix64(sm.wrapping_add(0x9E37_79B9_7F4A_7C15));
+            let bytes = sm.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn split_mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from a generator's raw output
+/// (the `Standard` distribution of real rand).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that `gen_range` accepts (the `SampleRange` trait of real rand).
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills a byte slice with random data.
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Named generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for rand's
+    /// `StdRng`.
+    ///
+    /// Not the same stream as upstream `StdRng` (which is ChaCha12), but
+    /// the workspace only requires that a given seed always produces the
+    /// same stream, which this guarantees.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias kept for API compatibility — same engine as [`StdRng`].
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-60.0..60.0);
+            assert!((-60.0..60.0).contains(&x));
+            let n = r.gen_range(2usize..12);
+            assert!((2..12).contains(&n));
+        }
+    }
+
+    #[test]
+    fn mean_is_centred() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
