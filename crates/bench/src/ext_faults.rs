@@ -1,0 +1,346 @@
+//! Extension experiment: control-plane resilience under injected
+//! faults.
+//!
+//! §7's initialization protocol is exercised far outside its lab
+//! conditions: a grid of control-message loss rates × node churn rates,
+//! each cell averaged over seeded trials. The outputs are the two
+//! curves the fault tentpole is about — how much goodput survives, and
+//! how long recovery takes (the recovery-time distribution vs.
+//! control-loss rate for EXPERIMENTS.md's `ext_faults` figure).
+//!
+//! Every trial seed derives from `(sweep seed, job index)` only, so the
+//! whole grid fans out across the parallel engine and reassembles
+//! bit-identically at any thread count.
+
+use mmx_channel::response::Pose;
+use mmx_channel::room::{Material, Room};
+use mmx_channel::Vec2;
+use mmx_core::report::TextTable;
+use mmx_net::ap::ApStation;
+use mmx_net::node::NodeStation;
+use mmx_net::sim::{NetworkSim, SimConfig};
+use mmx_net::FaultConfig;
+use mmx_units::{BitRate, Degrees, Hertz, Seconds};
+
+/// Control-message loss rates on the grid's first axis.
+pub const LOSS_RATES: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
+
+/// Per-node crash rates (Hz) on the grid's second axis.
+pub const CHURN_RATES_HZ: [f64; 3] = [0.0, 0.2, 0.5];
+
+/// Per-node offered load. Sensor-class traffic keeps the packet count
+/// (and the experiment runtime) bounded over long simulated durations.
+const DEMAND_BPS: f64 = 50_000.0;
+
+/// Nodes per trial.
+const NODES: usize = 4;
+
+/// Simulated duration per trial.
+const DURATION_S: f64 = 20.0;
+
+/// Downtime after a crash. Longer than the 400 ms lease so every crash
+/// also exercises spectrum reclaim.
+const REJOIN_MS: f64 = 600.0;
+
+/// Builds one faulted trial: `NODES` sensors on an arc around the AP.
+fn trial_sim(loss: f64, churn_hz: f64, seed: u64) -> NetworkSim {
+    let mut cfg = SimConfig::standard();
+    let mut faults = FaultConfig::lossy(loss);
+    if churn_hz > 0.0 {
+        faults = faults.with_churn(churn_hz, Seconds::from_millis(REJOIN_MS));
+    }
+    cfg.faults = Some(faults);
+    cfg.duration = Seconds::new(DURATION_S);
+    cfg.seed = seed;
+    cfg.walkers = 0;
+    let room = Room::rectangular(6.0, 4.0, Material::Drywall);
+    let ap_pos = Vec2::new(5.7, 2.0);
+    let ap = ApStation::with_tma(
+        Pose::new(ap_pos, Degrees::new(180.0)),
+        8,
+        Hertz::from_mhz(1.0),
+    );
+    let mut sim = NetworkSim::new(room, ap, cfg);
+    for i in 0..NODES {
+        let frac = (i as f64 + 0.5) / NODES as f64;
+        let bearing = Degrees::new(180.0 - 30.0 + 60.0 * frac);
+        let pos = ap_pos + Vec2::from_bearing(bearing) * 3.0;
+        sim.add_node(NodeStation::new(
+            i as u8,
+            Pose::facing_toward(pos, ap_pos),
+            BitRate::new(DEMAND_BPS),
+        ));
+    }
+    sim
+}
+
+/// One grid cell, averaged over the cell's trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPoint {
+    /// Control-message loss probability.
+    pub loss: f64,
+    /// Per-node crash rate, Hz.
+    pub churn_hz: f64,
+    /// Delivered goodput as a fraction of the offered load.
+    pub goodput_frac: f64,
+    /// Fraction of nodes in `Granted` when the run ended.
+    pub granted_frac: f64,
+    /// Mean crashes injected per trial.
+    pub crashes: f64,
+    /// Mean completed recoveries per trial.
+    pub recoveries: f64,
+    /// Mean time-to-recover, seconds.
+    pub mean_recovery_s: f64,
+    /// Worst time-to-recover seen in the cell, seconds.
+    pub worst_recovery_s: f64,
+    /// Mean join retransmissions per trial.
+    pub retries: f64,
+    /// Mean leases reclaimed by expiry per trial.
+    pub reclaimed: f64,
+}
+
+/// Runs the full loss × churn grid, `trials` seeded trials per cell.
+pub fn sweep(trials: usize, seed: u64) -> Vec<FaultPoint> {
+    let jobs: Vec<(f64, f64)> = LOSS_RATES
+        .iter()
+        .flat_map(|&l| CHURN_RATES_HZ.iter().map(move |&c| (l, c)))
+        .flat_map(|cell| std::iter::repeat_n(cell, trials))
+        .collect();
+    let reports = crate::par::run_indexed(jobs.len(), |i| {
+        let (loss, churn) = jobs[i];
+        trial_sim(loss, churn, crate::par::splitmix64(seed, i as u64))
+            .run()
+            .expect("fault trial must run")
+    });
+    reports
+        .chunks(trials)
+        .zip(jobs.iter().step_by(trials.max(1)))
+        .map(|(chunk, &(loss, churn_hz))| {
+            let n = chunk.len() as f64;
+            let mut p = FaultPoint {
+                loss,
+                churn_hz,
+                goodput_frac: 0.0,
+                granted_frac: 0.0,
+                crashes: 0.0,
+                recoveries: 0.0,
+                mean_recovery_s: 0.0,
+                worst_recovery_s: 0.0,
+                retries: 0.0,
+                reclaimed: 0.0,
+            };
+            let mut rec_weight = 0.0;
+            for r in chunk {
+                let offered = DEMAND_BPS * NODES as f64;
+                p.goodput_frac += r.total_goodput().bps() / offered / n;
+                p.granted_frac += r.recovery.granted_at_end as f64 / NODES as f64 / n;
+                p.crashes += r.recovery.crashes as f64 / n;
+                p.recoveries += r.recovery.recoveries as f64 / n;
+                p.mean_recovery_s += r.recovery.mean_recovery_s * r.recovery.recoveries as f64;
+                rec_weight += r.recovery.recoveries as f64;
+                p.worst_recovery_s = p.worst_recovery_s.max(r.recovery.max_recovery_s);
+                p.retries += r.recovery.control_retries as f64 / n;
+                p.reclaimed += r.recovery.reclaimed_leases as f64 / n;
+            }
+            p.mean_recovery_s = if rec_weight > 0.0 {
+                p.mean_recovery_s / rec_weight
+            } else {
+                0.0
+            };
+            p
+        })
+        .collect()
+}
+
+/// Renders the grid.
+pub fn table(points: &[FaultPoint]) -> TextTable {
+    let mut t = TextTable::new([
+        "loss",
+        "churn Hz",
+        "goodput %",
+        "granted %",
+        "crashes",
+        "recoveries",
+        "mean rec s",
+        "worst rec s",
+        "retries",
+        "reclaimed",
+    ]);
+    for p in points {
+        t.row([
+            format!("{:.2}", p.loss),
+            format!("{:.1}", p.churn_hz),
+            format!("{:.1}", 100.0 * p.goodput_frac),
+            format!("{:.0}", 100.0 * p.granted_frac),
+            format!("{:.1}", p.crashes),
+            format!("{:.1}", p.recoveries),
+            format!("{:.3}", p.mean_recovery_s),
+            format!("{:.3}", p.worst_recovery_s),
+            format!("{:.1}", p.retries),
+            format!("{:.1}", p.reclaimed),
+        ]);
+    }
+    t
+}
+
+/// One row of the recovery-time distribution: quantiles of time-to-
+/// recover at a given control-loss rate (churn held at 0.3 Hz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryRow {
+    /// Control-message loss probability.
+    pub loss: f64,
+    /// Trials that completed at least one recovery.
+    pub samples: usize,
+    /// Median per-trial worst time-to-recover, seconds.
+    pub p50_s: f64,
+    /// 90th-percentile per-trial worst time-to-recover, seconds.
+    pub p90_s: f64,
+    /// Worst time-to-recover across the sweep, seconds.
+    pub worst_s: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The recovery-time distribution vs. control-loss rate: `trials`
+/// seeded trials per loss rate with churn fixed at 0.3 Hz, sampling
+/// each trial's worst time-to-recover.
+pub fn recovery_cdf(trials: usize, seed: u64) -> Vec<RecoveryRow> {
+    let jobs: Vec<f64> = LOSS_RATES
+        .iter()
+        .flat_map(|&l| std::iter::repeat_n(l, trials))
+        .collect();
+    let reports = crate::par::run_indexed(jobs.len(), |i| {
+        trial_sim(jobs[i], 0.3, crate::par::splitmix64(seed ^ 0xCDF, i as u64))
+            .run()
+            .expect("recovery trial must run")
+    });
+    reports
+        .chunks(trials)
+        .zip(LOSS_RATES)
+        .map(|(chunk, loss)| {
+            let mut samples: Vec<f64> = chunk
+                .iter()
+                .filter(|r| r.recovery.recoveries > 0)
+                .map(|r| r.recovery.max_recovery_s)
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("recovery times are finite"));
+            RecoveryRow {
+                loss,
+                samples: samples.len(),
+                p50_s: percentile(&samples, 0.5),
+                p90_s: percentile(&samples, 0.9),
+                worst_s: samples.last().copied().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Renders the recovery-time distribution.
+pub fn recovery_table(rows: &[RecoveryRow]) -> TextTable {
+    let mut t = TextTable::new(["loss", "trials", "p50 s", "p90 s", "worst s"]);
+    for r in rows {
+        t.row([
+            format!("{:.2}", r.loss),
+            r.samples.to_string(),
+            format!("{:.3}", r.p50_s),
+            format!("{:.3}", r.p90_s),
+            format!("{:.3}", r.worst_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<FaultPoint> {
+        sweep(2, 17)
+    }
+
+    fn cell(points: &[FaultPoint], loss: f64, churn: f64) -> FaultPoint {
+        *points
+            .iter()
+            .find(|p| p.loss == loss && p.churn_hz == churn)
+            .expect("cell exists")
+    }
+
+    #[test]
+    fn grid_covers_both_axes() {
+        let p = grid();
+        assert_eq!(p.len(), LOSS_RATES.len() * CHURN_RATES_HZ.len());
+        for &l in &LOSS_RATES {
+            for &c in &CHURN_RATES_HZ {
+                cell(&p, l, c);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_cell_is_clean() {
+        let c = cell(&grid(), 0.0, 0.0);
+        assert!(c.goodput_frac > 0.9, "goodput frac = {}", c.goodput_frac);
+        assert_eq!(c.granted_frac, 1.0);
+        assert_eq!(c.crashes, 0.0);
+        assert_eq!(c.recoveries, 0.0);
+        assert_eq!(c.retries, 0.0);
+        assert_eq!(c.reclaimed, 0.0);
+    }
+
+    #[test]
+    fn loss_alone_never_blocks_admission() {
+        let p = grid();
+        for &l in &LOSS_RATES {
+            let c = cell(&p, l, 0.0);
+            assert_eq!(c.granted_frac, 1.0, "loss {l} left a node unadmitted");
+            assert!(
+                c.goodput_frac > 0.85,
+                "loss {l} goodput = {}",
+                c.goodput_frac
+            );
+        }
+    }
+
+    #[test]
+    fn churn_degrades_goodput_gracefully() {
+        let p = grid();
+        let clean = cell(&p, 0.0, 0.0);
+        let worst = cell(&p, 0.4, 0.5);
+        assert!(worst.crashes > 0.0, "no churn injected");
+        assert!(worst.goodput_frac < clean.goodput_frac);
+        // Degraded, not collapsed: even at 40% control loss with a
+        // crash roughly every 2.6 s per node, most of the offered load
+        // still gets through.
+        assert!(
+            worst.goodput_frac > 0.3,
+            "collapsed to {}",
+            worst.goodput_frac
+        );
+        assert!(worst.recoveries > 0.0, "nobody ever recovered");
+        assert!(worst.reclaimed > 0.0, "crashes never reclaimed a lease");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        assert_eq!(sweep(1, 3), sweep(1, 3));
+    }
+
+    #[test]
+    fn recovery_quantiles_are_ordered() {
+        let rows = recovery_cdf(2, 29);
+        assert_eq!(rows.len(), LOSS_RATES.len());
+        for r in &rows {
+            assert!(r.samples > 0, "loss {} produced no recoveries", r.loss);
+            assert!(r.p50_s > 0.0);
+            assert!(r.p50_s <= r.p90_s && r.p90_s <= r.worst_s);
+        }
+        // Recovery gets slower as the control plane gets lossier.
+        assert!(rows.last().unwrap().p90_s >= rows[0].p50_s);
+    }
+}

@@ -23,11 +23,13 @@
 //! | [`ext_rate`] | extension: rate adaptation vs distance |
 //! | [`ext_60ghz`] | extension: the 60 GHz band plan (§7a) |
 //! | [`ext_blockage`] | extension: blockage dynamics time series |
+//! | [`ext_faults`] | extension: goodput & recovery under injected faults |
 
 pub mod ablations;
 pub mod ext_60ghz;
 pub mod ext_ber_validation;
 pub mod ext_blockage;
+pub mod ext_faults;
 pub mod ext_rate;
 pub mod fig06_tma_hash;
 pub mod fig07_vco;

@@ -10,6 +10,27 @@
 use mmx_units::{BitRate, Seconds};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an ARQ operation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArqError {
+    /// The supplied packet-error rate was outside `[0, 1]` (or NaN).
+    PerOutOfRange(
+        /// The offending value.
+        f64,
+    ),
+}
+
+impl fmt::Display for ArqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArqError::PerOutOfRange(per) => write!(f, "PER out of range: {per}"),
+        }
+    }
+}
+
+impl std::error::Error for ArqError {}
 
 /// ARQ policy parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -75,18 +96,25 @@ impl StopAndWait {
     }
 
     /// Transmits one packet over a link with packet-error rate `per`,
-    /// drawing attempt outcomes from `rng`.
-    pub fn transmit<R: Rng + ?Sized>(&mut self, per: f64, rng: &mut R) -> TxOutcome {
-        assert!((0.0..=1.0).contains(&per), "PER out of range");
+    /// drawing attempt outcomes from `rng`. A PER outside `[0, 1]`
+    /// (including NaN) is rejected without touching the statistics.
+    pub fn transmit<R: Rng + ?Sized>(
+        &mut self,
+        per: f64,
+        rng: &mut R,
+    ) -> Result<TxOutcome, ArqError> {
+        if !(0.0..=1.0).contains(&per) {
+            return Err(ArqError::PerOutOfRange(per));
+        }
         self.offered += 1;
         for attempt in 1..=(1 + self.cfg.max_retries) {
             self.attempts_total += 1;
             if rng.gen::<f64>() >= per {
                 self.delivered += 1;
-                return TxOutcome::Delivered { attempts: attempt };
+                return Ok(TxOutcome::Delivered { attempts: attempt });
             }
         }
-        TxOutcome::Dropped
+        Ok(TxOutcome::Dropped)
     }
 
     /// Packets offered so far.
@@ -117,15 +145,27 @@ impl StopAndWait {
 }
 
 /// Analytic delivery probability under stop-and-wait:
-/// `1 − per^(1+retries)`.
+/// `1 − per^(1+retries)`. Out-of-range PERs are clamped to `[0, 1]`
+/// (NaN to 1, the pessimistic end).
 pub fn delivery_probability(per: f64, cfg: &ArqConfig) -> f64 {
-    assert!((0.0..=1.0).contains(&per), "PER out of range");
+    debug_assert!((0.0..=1.0).contains(&per), "PER out of range: {per}");
+    let per = if per.is_nan() {
+        1.0
+    } else {
+        per.clamp(0.0, 1.0)
+    };
     1.0 - per.powi(1 + cfg.max_retries as i32)
 }
 
 /// Analytic expected attempts per packet (attempts are capped):
 /// `Σ_{k=1..n} per^(k−1)` with `n = 1+retries`.
 pub fn expected_attempts(per: f64, cfg: &ArqConfig) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&per), "PER out of range: {per}");
+    let per = if per.is_nan() {
+        1.0
+    } else {
+        per.clamp(0.0, 1.0)
+    };
     let n = 1 + cfg.max_retries as i32;
     if per == 0.0 {
         return 1.0;
@@ -155,7 +195,7 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(
                 arq.transmit(0.0, &mut r),
-                TxOutcome::Delivered { attempts: 1 }
+                Ok(TxOutcome::Delivered { attempts: 1 })
             );
         }
         assert_eq!(arq.mean_attempts(), 1.0);
@@ -166,7 +206,7 @@ mod tests {
     fn dead_link_drops_after_max_retries() {
         let mut arq = StopAndWait::new(ArqConfig::standard());
         let mut r = rng();
-        assert_eq!(arq.transmit(1.0, &mut r), TxOutcome::Dropped);
+        assert_eq!(arq.transmit(1.0, &mut r), Ok(TxOutcome::Dropped));
         assert_eq!(arq.mean_attempts(), 4.0); // 1 + 3 retries
         assert_eq!(arq.residual_loss(), 1.0);
     }
@@ -179,7 +219,7 @@ mod tests {
         let mut r = rng();
         let n = 100_000;
         for _ in 0..n {
-            arq.transmit(per, &mut r);
+            arq.transmit(per, &mut r).expect("valid PER");
         }
         let p_deliver = 1.0 - arq.residual_loss();
         assert!(
@@ -234,9 +274,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "PER out of range")]
     fn invalid_per_rejected() {
         let mut arq = StopAndWait::new(ArqConfig::standard());
-        arq.transmit(1.5, &mut rng());
+        assert_eq!(
+            arq.transmit(1.5, &mut rng()),
+            Err(ArqError::PerOutOfRange(1.5))
+        );
+        assert!(matches!(
+            arq.transmit(f64::NAN, &mut rng()),
+            Err(ArqError::PerOutOfRange(_))
+        ));
+        // Rejected calls leave the statistics untouched.
+        assert_eq!(arq.offered(), 0);
+        assert_eq!(arq.mean_attempts(), 0.0);
+        assert!(ArqError::PerOutOfRange(1.5).to_string().contains("1.5"));
     }
 }

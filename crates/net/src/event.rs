@@ -3,10 +3,46 @@
 //! The simulator schedules packet transmissions, mobility steps and
 //! blockage transitions as timestamped events. Ties are broken by
 //! insertion order, so runs are bit-for-bit reproducible.
+//!
+//! Scheduling is fallible: an event in the past or at a non-finite time
+//! is a caller bug the queue reports as a [`ScheduleError`] instead of
+//! panicking, so a simulation driven by injected faults can surface the
+//! problem as data rather than tearing the process down.
 
 use mmx_units::Seconds;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why an event could not be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// The requested time precedes the queue's current time.
+    PastTime {
+        /// The rejected timestamp.
+        time: Seconds,
+        /// The queue's clock when the request was made.
+        now: Seconds,
+    },
+    /// The requested time (or delay) was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::PastTime { time, now } => write!(
+                f,
+                "cannot schedule into the past ({} < {})",
+                time.value(),
+                now.value()
+            ),
+            ScheduleError::NonFinite => write!(f, "event time must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 struct Entry<E> {
     time: Seconds,
@@ -23,11 +59,12 @@ impl<E> Eq for Entry<E> {}
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
+        // BinaryHeap is a max-heap; invert for earliest-first. Times are
+        // guaranteed finite by `schedule_at`, so the comparison is total.
         other
             .time
             .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
+            .expect("event times are finite by construction")
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -71,32 +108,46 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedules an event at an absolute time. Panics on scheduling into
-    /// the past.
-    pub fn schedule_at(&mut self, time: Seconds, event: E) {
-        assert!(
-            time >= self.now,
-            "cannot schedule into the past ({} < {})",
-            time.value(),
-            self.now.value()
-        );
+    /// Schedules an event at an absolute time. Fails on a non-finite
+    /// time or one before [`now`](Self::now).
+    pub fn schedule_at(&mut self, time: Seconds, event: E) -> Result<(), ScheduleError> {
+        if !time.value().is_finite() {
+            return Err(ScheduleError::NonFinite);
+        }
+        if time < self.now {
+            return Err(ScheduleError::PastTime {
+                time,
+                now: self.now,
+            });
+        }
         self.heap.push(Entry {
             time,
             seq: self.seq,
             event,
         });
         self.seq += 1;
+        Ok(())
     }
 
-    /// Schedules an event `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: Seconds, event: E) {
-        assert!(delay.value() >= 0.0, "negative delay");
-        self.schedule_at(self.now + delay, event);
+    /// Schedules an event `delay` after the current time. Fails on a
+    /// negative or non-finite delay.
+    pub fn schedule_in(&mut self, delay: Seconds, event: E) -> Result<(), ScheduleError> {
+        if !delay.value().is_finite() {
+            return Err(ScheduleError::NonFinite);
+        }
+        if delay.value() < 0.0 {
+            return Err(ScheduleError::PastTime {
+                time: self.now + delay,
+                now: self.now,
+            });
+        }
+        self.schedule_at(self.now + delay, event)
     }
 
     /// Pops the earliest event, advancing the clock.
     pub fn pop(&mut self) -> Option<(Seconds, E)> {
         let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now, "heap yielded an out-of-order event");
         self.now = e.time;
         Some((e.time, e.event))
     }
@@ -114,9 +165,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::new(3.0), "c");
-        q.schedule_at(Seconds::new(1.0), "a");
-        q.schedule_at(Seconds::new(2.0), "b");
+        q.schedule_at(Seconds::new(3.0), "c").unwrap();
+        q.schedule_at(Seconds::new(1.0), "a").unwrap();
+        q.schedule_at(Seconds::new(2.0), "b").unwrap();
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
@@ -125,7 +176,7 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
         for label in ["first", "second", "third"] {
-            q.schedule_at(Seconds::new(1.0), label);
+            q.schedule_at(Seconds::new(1.0), label).unwrap();
         }
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["first", "second", "third"]);
@@ -134,7 +185,7 @@ mod tests {
     #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::new(5.0), ());
+        q.schedule_at(Seconds::new(5.0), ()).unwrap();
         assert_eq!(q.now(), Seconds::ZERO);
         q.pop();
         assert_eq!(q.now(), Seconds::new(5.0));
@@ -143,9 +194,9 @@ mod tests {
     #[test]
     fn schedule_in_is_relative() {
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::new(2.0), "base");
+        q.schedule_at(Seconds::new(2.0), "base").unwrap();
         q.pop();
-        q.schedule_in(Seconds::new(1.5), "later");
+        q.schedule_in(Seconds::new(1.5), "later").unwrap();
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, Seconds::new(3.5));
     }
@@ -153,7 +204,7 @@ mod tests {
     #[test]
     fn peek_does_not_advance() {
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::new(1.0), ());
+        q.schedule_at(Seconds::new(1.0), ()).unwrap();
         assert_eq!(q.peek_time(), Some(Seconds::new(1.0)));
         assert_eq!(q.now(), Seconds::ZERO);
         assert_eq!(q.len(), 1);
@@ -161,22 +212,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "into the past")]
-    fn scheduling_into_the_past_panics() {
+    fn scheduling_into_the_past_is_an_error() {
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::new(2.0), ());
+        q.schedule_at(Seconds::new(2.0), ()).unwrap();
         q.pop();
-        q.schedule_at(Seconds::new(1.0), ());
+        assert_eq!(
+            q.schedule_at(Seconds::new(1.0), ()),
+            Err(ScheduleError::PastTime {
+                time: Seconds::new(1.0),
+                now: Seconds::new(2.0),
+            })
+        );
+        // The failed schedule left the queue untouched.
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn non_finite_times_are_errors() {
+        let mut q = EventQueue::new();
+        assert_eq!(
+            q.schedule_at(Seconds::new(f64::NAN), ()),
+            Err(ScheduleError::NonFinite)
+        );
+        assert_eq!(
+            q.schedule_at(Seconds::new(f64::INFINITY), ()),
+            Err(ScheduleError::NonFinite)
+        );
+        assert_eq!(
+            q.schedule_in(Seconds::new(f64::NAN), ()),
+            Err(ScheduleError::NonFinite)
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn negative_delay_is_an_error() {
+        let mut q = EventQueue::new();
+        assert!(matches!(
+            q.schedule_in(Seconds::new(-1.0), ()),
+            Err(ScheduleError::PastTime { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_error_displays() {
+        let past = ScheduleError::PastTime {
+            time: Seconds::new(1.0),
+            now: Seconds::new(2.0),
+        };
+        assert!(past.to_string().contains("past"));
+        assert!(ScheduleError::NonFinite.to_string().contains("finite"));
     }
 
     #[test]
     fn interleaved_scheduling_and_popping() {
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::new(1.0), 1);
-        q.schedule_at(Seconds::new(10.0), 10);
+        q.schedule_at(Seconds::new(1.0), 1).unwrap();
+        q.schedule_at(Seconds::new(10.0), 10).unwrap();
         let (_, e) = q.pop().unwrap();
         assert_eq!(e, 1);
-        q.schedule_in(Seconds::new(2.0), 3); // at t=3
+        q.schedule_in(Seconds::new(2.0), 3).unwrap(); // at t=3
         let (_, e) = q.pop().unwrap();
         assert_eq!(e, 3);
         let (_, e) = q.pop().unwrap();

@@ -22,18 +22,28 @@
 //! * [`energy`] — network-wide energy accounting.
 //! * [`arq`] — stop-and-wait link-layer reliability with the ACK on the
 //!   out-of-band control plane (extension; keeps the node TX-only).
+//! * [`faults`] — seeded, deterministic fault injection: control-plane
+//!   loss/duplication/delay, node churn, correlated blockage bursts,
+//!   AP restart.
+//! * [`link`] — the node-side control-link state machine
+//!   (Idle → Joining → Granted → Outage → Rejoining) and retransmit
+//!   backoff.
 
 pub mod ap;
 pub mod arq;
 pub mod control;
 pub mod energy;
 pub mod event;
+pub mod faults;
 pub mod fdm;
 pub mod interference;
+pub mod link;
 pub mod node;
 pub mod sdm;
 pub mod sim;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, ScheduleError};
+pub use faults::{FaultConfig, FaultInjector};
 pub use fdm::{BandPlan, ChannelAssignment};
-pub use sim::{NetworkReport, NetworkSim, NodeReport};
+pub use link::{Backoff, LinkState, NodeLink};
+pub use sim::{NetworkReport, NetworkSim, NodeReport, RecoveryReport};

@@ -6,11 +6,15 @@
 //! conversion, and energy accounting.
 
 use crate::ap::ApStation;
-use crate::control::Admission;
+use crate::control::{
+    Admission, ControlMsg, LeaseConfig, NodeId, CONTROL_MSG_ENERGY_J, CONTROL_RTT,
+};
 use crate::energy::EnergyMeter;
 use crate::event::EventQueue;
+use crate::faults::{FaultConfig, FaultInjector};
 use crate::fdm::{AllocError, BandPlan};
 use crate::interference::adjacent_channel_leakage;
+use crate::link::{Backoff, LinkAction, LinkState, NodeLink};
 use crate::node::NodeStation;
 use crate::sdm::{SdmError, SdmScheduler, SdmSlot};
 use mmx_channel::blockage::HumanBlocker;
@@ -19,8 +23,8 @@ use mmx_channel::mobility::{LinearWalker, RandomWaypoint};
 use mmx_channel::response::{beam_channel, BeamChannel};
 use mmx_channel::room::Room;
 use mmx_channel::trace::Tracer;
-use mmx_phy::ber::joint_ber;
-use mmx_units::{thermal_noise_dbm, BitRate, Db, DbmPower, Degrees, Hertz, Seconds};
+use mmx_phy::ber::{fsk_ber, joint_ber};
+use mmx_units::{thermal_noise_dbm, Band, BitRate, Db, DbmPower, Degrees, Hertz, Seconds};
 use rand::{Rng, SeedableRng};
 
 /// Simulator configuration.
@@ -65,6 +69,18 @@ pub struct SimConfig {
     pub second_order_reflections: bool,
     /// Record a per-packet trace in the report.
     pub record_trace: bool,
+    /// Fault injection (`None` = the original fault-free engine: the
+    /// control handshake is abstracted into a one-shot allocation and
+    /// nodes never lose their grants).
+    pub faults: Option<FaultConfig>,
+    /// Lease policy when faults are enabled.
+    pub lease: LeaseConfig,
+    /// Consecutive undecodable packets before a node declares an outage
+    /// and falls back to FSK-only (§6.2).
+    pub outage_window: u32,
+    /// Decision-SNR threshold below which a packet counts as
+    /// undecodable for outage detection.
+    pub decode_threshold: Db,
 }
 
 /// Small-scale fading parameters for the simulator.
@@ -105,6 +121,10 @@ impl SimConfig {
             rate_adaptation: false,
             second_order_reflections: false,
             record_trace: false,
+            faults: None,
+            lease: LeaseConfig::standard(),
+            outage_window: 8,
+            decode_threshold: Db::new(5.0),
         }
     }
 }
@@ -121,6 +141,10 @@ pub enum SimError {
 }
 
 /// Per-node outcome of a run.
+///
+/// `PartialEq` compares floats by bit pattern, so two reports from the
+/// same seed compare equal even when a node never transmitted
+/// (`mean_sinr_db` = NaN).
 #[derive(Debug, Clone)]
 pub struct NodeReport {
     /// Node id.
@@ -145,8 +169,34 @@ pub struct NodeReport {
     pub slot: SdmSlot,
 }
 
+/// Bit-pattern float equality: `NaN == NaN`, `-0.0 != 0.0`. Exactly
+/// what a determinism check wants.
+#[inline]
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+impl PartialEq for NodeReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.sent == other.sent
+            && self.delivered == other.delivered
+            && bits_eq(self.mean_sinr_db, other.mean_sinr_db)
+            && bits_eq(self.min_sinr_db, other.min_sinr_db)
+            && bits_eq(self.per, other.per)
+            && bits_eq(self.goodput_bps, other.goodput_bps)
+            && bits_eq(self.energy_j, other.energy_j)
+            && match (self.nj_per_bit, other.nj_per_bit) {
+                (None, None) => true,
+                (Some(a), Some(b)) => bits_eq(a, b),
+                _ => false,
+            }
+            && self.slot == other.slot
+    }
+}
+
 /// One recorded packet transmission (when `record_trace` is on).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketSample {
     /// Transmission start time.
     pub t: Seconds,
@@ -158,8 +208,51 @@ pub struct PacketSample {
     pub delivered: bool,
 }
 
-/// Aggregate outcome of a run.
-#[derive(Debug, Clone)]
+/// Control-plane resilience metrics of a faulted run. All zero for a
+/// fault-free run (`SimConfig::faults = None`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Control messages offered to the (lossy) control plane.
+    pub control_sent: u64,
+    /// Control messages the injector dropped.
+    pub control_lost: u64,
+    /// Join retransmissions forced by loss (backoff timer firings that
+    /// resent a request).
+    pub control_retries: u64,
+    /// Stale (reordered/duplicated) grants nodes discarded by epoch.
+    pub stale_grants_discarded: u64,
+    /// Leases the AP reclaimed by expiry (crashed or silenced nodes).
+    pub reclaimed_leases: u64,
+    /// Packet slots that passed while a node was down or waiting on
+    /// re-admission.
+    pub packets_lost_to_churn: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Outages declared (decision SNR below threshold for the window).
+    pub outages: u64,
+    /// First-time admissions completed.
+    pub joins: u64,
+    /// Mean time from first join attempt to Granted, seconds.
+    pub mean_join_s: f64,
+    /// Recoveries completed (rejoin after crash/restart/lease loss, or
+    /// an outage healing).
+    pub recoveries: u64,
+    /// Mean time-to-recover, seconds.
+    pub mean_recovery_s: f64,
+    /// Worst time-to-recover, seconds.
+    pub max_recovery_s: f64,
+    /// Nodes in `Granted` when the run ended.
+    pub granted_at_end: usize,
+    /// Nodes streaming (Granted or FSK-fallback Outage) at the end.
+    pub streaming_at_end: usize,
+    /// Nodes alive (not crashed, not departed) at the end.
+    pub alive_at_end: usize,
+}
+
+/// Aggregate outcome of a run. `PartialEq` compares bit-exactly
+/// (floats by bit pattern, so NaN fields from never-transmitting nodes
+/// still compare equal across identically seeded runs).
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
     /// Per-node reports, in node order.
     pub nodes: Vec<NodeReport>,
@@ -169,6 +262,8 @@ pub struct NetworkReport {
     pub duration: Seconds,
     /// Per-packet trace (empty unless `record_trace`).
     pub trace: Vec<PacketSample>,
+    /// Control-plane resilience metrics (all zero without faults).
+    pub recovery: RecoveryReport,
 }
 
 impl NetworkReport {
@@ -199,6 +294,97 @@ enum Event {
     Step,
 }
 
+/// Events of the faulted engine: the fault-free pair plus the control
+/// plane made explicit (messages in flight, timers, injected failures).
+#[derive(Clone)]
+enum FEvent {
+    /// Mobility/blockage update.
+    Step,
+    /// Node `i` transmits its next data packet.
+    Packet(usize),
+    /// A control message arrives at the AP.
+    ToAp(ControlMsg),
+    /// A control message arrives at node `i`.
+    ToNode(usize, ControlMsg),
+    /// Node `i`'s retransmit timer for join attempt `a` fired.
+    RetryJoin(usize, u32),
+    /// Node `i`'s keepalive timer fired.
+    KeepaliveTick(usize),
+    /// The AP scans for expired leases.
+    LeaseCheck,
+    /// Node `i` crashes.
+    Crash(usize),
+    /// Node `i` reboots and rejoins.
+    Rejoin(usize),
+    /// Node `i` becomes active and starts its first join.
+    Wake(usize),
+    /// Node `i` leaves the network for good.
+    Depart(usize),
+    /// A correlated blockage burst begins.
+    BurstStart,
+    /// The burst ends.
+    BurstEnd,
+    /// The AP restarts, losing all admission state.
+    ApRestart,
+}
+
+/// The lossy control-plane fabric: owns the event queue and the fault
+/// injector so every message send draws its fate deterministically.
+struct Fabric {
+    q: EventQueue<FEvent>,
+    inj: FaultInjector,
+    backoff: Backoff,
+    control_sent: u64,
+    control_retries: u64,
+}
+
+impl Fabric {
+    /// Sends a control message: it arrives after half the control RTT
+    /// plus injected delay, unless the injector drops it; duplicates
+    /// arrive shortly after the original.
+    fn send(&mut self, now: Seconds, ev: FEvent) {
+        self.control_sent += 1;
+        let fate = self.inj.control_fate();
+        if fate.lost {
+            return;
+        }
+        let at = now + CONTROL_RTT * 0.5 + fate.extra_delay;
+        self.q
+            .schedule_at(at, ev.clone())
+            .expect("arrival is ahead");
+        if fate.duplicated {
+            self.q
+                .schedule_at(at + CONTROL_RTT * 0.1, ev)
+                .expect("duplicate arrival is ahead");
+        }
+    }
+
+    /// Sends node `idx`'s `JoinRequest` and arms the retransmit timer
+    /// for the attempt the link is currently on.
+    fn send_join(
+        &mut self,
+        now: Seconds,
+        idx: usize,
+        link: &NodeLink,
+        node: NodeId,
+        demand_bps: f64,
+        meter: &mut EnergyMeter,
+    ) {
+        meter.record_fixed(CONTROL_MSG_ENERGY_J);
+        if link.attempt() > 0 {
+            self.control_retries += 1;
+        }
+        self.send(
+            now,
+            FEvent::ToAp(ControlMsg::JoinRequest { node, demand_bps }),
+        );
+        let retry = now + self.backoff.delay(link.attempt(), self.inj.jitter());
+        self.q
+            .schedule_at(retry, FEvent::RetryJoin(idx, link.attempt()))
+            .expect("retry timer is ahead");
+    }
+}
+
 /// The network simulator.
 pub struct NetworkSim {
     room: Room,
@@ -227,6 +413,16 @@ impl NetworkSim {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration (tweak faults, trace recording, seeds).
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.cfg
     }
 
     /// Angle of arrival of each node's LoS at the AP, relative to the
@@ -356,7 +552,23 @@ impl NetworkSim {
     }
 
     /// Runs the simulation.
+    ///
+    /// Without faults (`SimConfig::faults = None`) this is the original
+    /// engine: admission happens once, instantly and losslessly, before
+    /// t = 0. With faults it runs the full control plane — join/grant
+    /// over a lossy channel with retransmit backoff, epoch-stamped
+    /// grants, leases with keepalives, churn, blockage bursts and AP
+    /// restarts — and fills [`NetworkReport::recovery`].
     pub fn run(&self) -> Result<NetworkReport, SimError> {
+        match self.cfg.faults.clone() {
+            Some(f) => self.run_faulted(f),
+            None => self.run_static(),
+        }
+    }
+
+    /// The fault-free engine (the pre-fault-injection behavior,
+    /// byte-for-byte).
+    fn run_static(&self) -> Result<NetworkReport, SimError> {
         if self.nodes.is_empty() {
             return Err(SimError::Empty);
         }
@@ -460,12 +672,14 @@ impl NetworkSim {
             .collect();
 
         let mut q = EventQueue::new();
-        q.schedule_at(Seconds::ZERO + self.cfg.step, Event::Step);
+        q.schedule_at(Seconds::ZERO + self.cfg.step, Event::Step)
+            .expect("first step is ahead of t = 0");
         for (i, n) in self.nodes.iter().enumerate() {
             // Stagger starts to avoid artificial phase alignment, and
             // honor the node's activity window (churn).
             let offset = n.packet_interval() * (i as f64 / self.nodes.len() as f64);
-            q.schedule_at(n.active_from.max(offset), Event::Packet(i));
+            q.schedule_at(n.active_from.max(offset), Event::Packet(i))
+                .expect("first packet is ahead of t = 0");
         }
 
         while let Some((t, ev)) = q.pop() {
@@ -480,7 +694,8 @@ impl NetworkSim {
                     if let Some(p) = pacer.as_mut() {
                         p.step(self.cfg.step.value());
                     }
-                    q.schedule_in(self.cfg.step, Event::Step);
+                    q.schedule_in(self.cfg.step, Event::Step)
+                        .expect("step period is positive");
                 }
                 Event::Packet(i) => {
                     if !self.nodes[i].is_active(t) {
@@ -535,7 +750,8 @@ impl NetworkSim {
                             delivered: ok,
                         });
                     }
-                    q.schedule_in(self.nodes[i].packet_interval(), Event::Packet(i));
+                    q.schedule_in(self.nodes[i].packet_interval(), Event::Packet(i))
+                        .expect("packet interval is positive");
                 }
             }
         }
@@ -568,6 +784,573 @@ impl NetworkSim {
             used_sdm,
             duration: self.cfg.duration,
             trace,
+            recovery: RecoveryReport::default(),
+        })
+    }
+
+    /// The band plan the AP's admission bookkeeping runs over. Under
+    /// FDM it is the real plan; under SDM, spatial reuse means the
+    /// spectral packing is not the binding constraint (the TMA schedule
+    /// from [`plan_slots`](Self::plan_slots) is), so leases and epochs
+    /// are tracked over a virtual plan wide enough for every demand.
+    fn admission_plan(&self, used_sdm: bool) -> BandPlan {
+        if !used_sdm {
+            return self.cfg.plan.clone();
+        }
+        let width: f64 = self
+            .nodes
+            .iter()
+            .map(|n| self.cfg.plan.width_for(n.demand).hz() + 2e6)
+            .sum();
+        let center = self.cfg.plan.band().low + self.cfg.plan.band().bandwidth() / 2.0;
+        BandPlan::new(
+            Band::centered(center, Hertz::new(width * 2.0)),
+            Hertz::from_mhz(1.0),
+        )
+    }
+
+    /// The faulted engine: the same PHY/channel model as
+    /// [`run_static`](Self::run_static), with the control plane run
+    /// for real through a seeded [`FaultInjector`].
+    fn run_faulted(&self, faults: FaultConfig) -> Result<NetworkReport, SimError> {
+        if self.nodes.is_empty() {
+            return Err(SimError::Empty);
+        }
+        let n = self.nodes.len();
+        let (slots, rates, used_sdm) = self.plan_slots()?;
+        let aoa = self.arrival_angles();
+        let spatial = self.spatial_gains(&slots, &aoa, used_sdm);
+        let bandwidth = if used_sdm {
+            self.cfg.sdm_channel_width
+        } else {
+            self.cfg.plan.width_for(self.nodes[0].demand)
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed);
+
+        // Mobility state — identical construction (and RNG draw order)
+        // to the fault-free engine.
+        let mut walkers: Vec<RandomWaypoint> = (0..self.cfg.walkers)
+            .map(|k| {
+                let start = mmx_channel::Vec2::new(
+                    self.room.width() * (0.25 + 0.5 * (k as f64 / self.cfg.walkers.max(1) as f64)),
+                    self.room.depth() * 0.5,
+                );
+                RandomWaypoint::new(&self.room, start, 1.4, 0.3, &mut rng)
+            })
+            .collect();
+        let mut pacer = self.cfg.pacing_blocker.then(|| {
+            LinearWalker::new(
+                mmx_channel::Vec2::new(self.room.width() / 2.0, 0.5),
+                mmx_channel::Vec2::new(self.room.width() / 2.0, self.room.depth() - 0.5),
+                1.0,
+            )
+        });
+        let blockers = |walkers: &[RandomWaypoint], pacer: &Option<LinearWalker>| {
+            let mut b: Vec<HumanBlocker> = walkers
+                .iter()
+                .map(|w| HumanBlocker::typical(w.position()))
+                .collect();
+            if let Some(p) = pacer {
+                b.push(HumanBlocker::typical(p.position()));
+            }
+            b
+        };
+
+        // Initialization-phase measurement: per-node arrival power for
+        // power control and rate adaptation, exactly as the fault-free
+        // engine derives them.
+        let current = blockers(&walkers, &pacer);
+        let mut meas: Vec<DbmPower> = Vec::with_capacity(n);
+        let mut seps: Vec<Db> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (p, ch) = self.rx_power(i, &current);
+            meas.push(p);
+            seps.push(ch.level_separation());
+        }
+        let pc_backoff: Vec<Db> = if self.cfg.power_control && n > 1 {
+            let floor = meas
+                .iter()
+                .cloned()
+                .fold(DbmPower::new(f64::INFINITY), DbmPower::min);
+            meas.iter()
+                .map(|&p| (p - floor).clamp(Db::ZERO, self.cfg.max_backoff))
+                .collect()
+        } else {
+            vec![Db::ZERO; n]
+        };
+        for i in 0..n {
+            meas[i] -= pc_backoff[i];
+        }
+        let mut rates = rates;
+        if self.cfg.rate_adaptation {
+            let adapter = mmx_phy::rate::RateAdapter::standard();
+            for i in 0..n {
+                let sinr = self.sinr(i, &slots, &meas, spatial.as_ref(), bandwidth);
+                let ref_gain =
+                    Db::new(10.0 * (bandwidth.hz() / adapter.reference_rate().bps()).log10());
+                if let Some(r) = adapter.select(sinr + ref_gain, seps[i]) {
+                    rates[i] = rates[i].min(r);
+                }
+            }
+        }
+        // Live arrival powers: everyone silent until granted.
+        let mut rx: Vec<DbmPower> = vec![DbmPower::ZERO_POWER; n];
+
+        // Stats.
+        let mut sent = vec![0u64; n];
+        let mut delivered = vec![0u64; n];
+        let mut sinr_sum = vec![0.0f64; n];
+        let mut sinr_min = vec![f64::INFINITY; n];
+        let mut meters: Vec<EnergyMeter> = vec![EnergyMeter::new(); n];
+        let mut trace: Vec<PacketSample> = Vec::new();
+        let mut faders: Vec<Option<FadingProcess>> = (0..n)
+            .map(|_| {
+                self.cfg
+                    .fading
+                    .map(|f| FadingProcess::new(Rician::new(Db::new(f.k_db)), f.rho, &mut rng))
+            })
+            .collect();
+
+        // Control plane.
+        let mut inj = FaultInjector::new(faults.clone(), self.cfg.seed);
+        let crashes = inj.crash_schedule(n, self.cfg.duration);
+        let bursts = inj.burst_windows(self.cfg.duration);
+        let mut admission = Admission::new(self.admission_plan(used_sdm));
+        let mut links: Vec<NodeLink> = vec![NodeLink::new(); n];
+        let mut alive = vec![true; n];
+        let mut keepalive_on = vec![false; n];
+        let mut packets_on = vec![false; n];
+        let mut recovery = RecoveryReport::default();
+        let mut join_sum = 0.0f64;
+        let mut rec_sum = 0.0f64;
+        let mut burst_depth = 0u32;
+        let idx_of = |id: NodeId| self.nodes.iter().position(|m| m.id == id);
+
+        let mut fab = Fabric {
+            q: EventQueue::new(),
+            inj,
+            backoff: Backoff::standard(),
+            control_sent: 0,
+            control_retries: 0,
+        };
+        fab.q
+            .schedule_at(Seconds::ZERO + self.cfg.step, FEvent::Step)
+            .expect("first step is ahead of t = 0");
+        fab.q
+            .schedule_at(
+                Seconds::ZERO + self.cfg.lease.keepalive_interval,
+                FEvent::LeaseCheck,
+            )
+            .expect("first lease scan is ahead of t = 0");
+        for (i, node) in self.nodes.iter().enumerate() {
+            // Stagger the joins over one control RTT so the thundering
+            // herd at t = 0 stays deterministic but not simultaneous.
+            let wake = node.active_from + CONTROL_RTT * (i as f64 / n as f64);
+            fab.q
+                .schedule_at(wake, FEvent::Wake(i))
+                .expect("wake is ahead of t = 0");
+            if let Some(until) = node.active_until {
+                fab.q
+                    .schedule_at(until, FEvent::Depart(i))
+                    .expect("departure is ahead of t = 0");
+            }
+        }
+        for c in &crashes {
+            fab.q
+                .schedule_at(c.at, FEvent::Crash(c.node))
+                .expect("crash is ahead of t = 0");
+            fab.q
+                .schedule_at(c.at + faults.rejoin_delay, FEvent::Rejoin(c.node))
+                .expect("rejoin is ahead of t = 0");
+        }
+        for &(start, end) in &bursts {
+            fab.q
+                .schedule_at(start, FEvent::BurstStart)
+                .expect("burst start is ahead of t = 0");
+            fab.q
+                .schedule_at(end, FEvent::BurstEnd)
+                .expect("burst end is ahead of t = 0");
+        }
+        if let Some(at) = faults.ap_restart_at {
+            fab.q
+                .schedule_at(at, FEvent::ApRestart)
+                .expect("AP restart is ahead of t = 0");
+        }
+
+        while let Some((t, ev)) = fab.q.pop() {
+            if t > self.cfg.duration {
+                break;
+            }
+            match ev {
+                FEvent::Step => {
+                    for w in walkers.iter_mut() {
+                        w.step(&self.room, self.cfg.step.value(), &mut rng);
+                    }
+                    if let Some(p) = pacer.as_mut() {
+                        p.step(self.cfg.step.value());
+                    }
+                    fab.q
+                        .schedule_in(self.cfg.step, FEvent::Step)
+                        .expect("step period is positive");
+                }
+                FEvent::Wake(i) => {
+                    if !self.nodes[i].is_active(t) {
+                        continue;
+                    }
+                    links[i].start_join(t);
+                    fab.send_join(
+                        t,
+                        i,
+                        &links[i],
+                        self.nodes[i].id,
+                        self.nodes[i].demand.bps(),
+                        &mut meters[i],
+                    );
+                }
+                FEvent::Rejoin(i) => {
+                    // Spurious when the matching crash was skipped
+                    // (node already inactive at crash time).
+                    if !self.nodes[i].is_active(t) || alive[i] {
+                        continue;
+                    }
+                    alive[i] = true;
+                    links[i].start_join(t);
+                    fab.send_join(
+                        t,
+                        i,
+                        &links[i],
+                        self.nodes[i].id,
+                        self.nodes[i].demand.bps(),
+                        &mut meters[i],
+                    );
+                }
+                FEvent::Depart(i) => {
+                    alive[i] = false;
+                    rx[i] = DbmPower::ZERO_POWER;
+                    links[i].on_crash();
+                    meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
+                    fab.send(
+                        t,
+                        FEvent::ToAp(ControlMsg::Leave {
+                            node: self.nodes[i].id,
+                        }),
+                    );
+                }
+                FEvent::Crash(i) => {
+                    if !alive[i] || !self.nodes[i].is_active(t) {
+                        continue;
+                    }
+                    alive[i] = false;
+                    rx[i] = DbmPower::ZERO_POWER;
+                    links[i].on_crash();
+                    recovery.crashes += 1;
+                }
+                FEvent::RetryJoin(i, attempt) => {
+                    if !alive[i] {
+                        continue;
+                    }
+                    if links[i].retry_join(attempt) == LinkAction::SendJoin {
+                        fab.send_join(
+                            t,
+                            i,
+                            &links[i],
+                            self.nodes[i].id,
+                            self.nodes[i].demand.bps(),
+                            &mut meters[i],
+                        );
+                    }
+                }
+                FEvent::KeepaliveTick(i) => {
+                    if !alive[i] || !links[i].is_streaming() {
+                        keepalive_on[i] = false;
+                        continue;
+                    }
+                    meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
+                    fab.send(
+                        t,
+                        FEvent::ToAp(ControlMsg::Keepalive {
+                            node: self.nodes[i].id,
+                        }),
+                    );
+                    fab.q
+                        .schedule_in(self.cfg.lease.keepalive_interval, FEvent::KeepaliveTick(i))
+                        .expect("keepalive interval is positive");
+                }
+                FEvent::LeaseCheck => {
+                    for id in admission.expire_stale(t, self.cfg.lease.duration) {
+                        // The node may still believe it is granted (all
+                        // its keepalives were lost): tell it to rejoin.
+                        if let Some(i) = idx_of(id) {
+                            if alive[i] && links[i].is_streaming() {
+                                fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node: id }));
+                            }
+                        }
+                    }
+                    fab.q
+                        .schedule_in(self.cfg.lease.keepalive_interval, FEvent::LeaseCheck)
+                        .expect("lease scan interval is positive");
+                }
+                FEvent::ApRestart => {
+                    admission.restart();
+                }
+                FEvent::BurstStart => burst_depth += 1,
+                FEvent::BurstEnd => burst_depth = burst_depth.saturating_sub(1),
+                FEvent::ToAp(msg) => match msg {
+                    ControlMsg::JoinRequest { node, demand_bps } => {
+                        match admission.join_at(node, BitRate::new(demand_bps), t) {
+                            Ok(grants) => {
+                                for g in grants {
+                                    if let ControlMsg::Grant { node: gid, .. } = &g {
+                                        if let Some(i) = idx_of(*gid) {
+                                            fab.send(t, FEvent::ToNode(i, g.clone()));
+                                        }
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                if let Some(i) = idx_of(node) {
+                                    fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node }));
+                                }
+                            }
+                        }
+                    }
+                    ControlMsg::GrantAck { node, epoch } => admission.ack(node, epoch),
+                    ControlMsg::Keepalive { node } => {
+                        if !admission.refresh(node, t) {
+                            if let Some(i) = idx_of(node) {
+                                fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node }));
+                            }
+                        }
+                    }
+                    ControlMsg::Leave { node } => admission.leave(node),
+                    ControlMsg::Grant { .. } | ControlMsg::Reject { .. } => {}
+                },
+                FEvent::ToNode(i, msg) => {
+                    if !alive[i] {
+                        continue; // delivered to a crashed radio
+                    }
+                    match msg {
+                        ControlMsg::Grant {
+                            epoch, center_hz, ..
+                        } => {
+                            let was = links[i].state();
+                            let (act, healed) = links[i].on_grant(epoch, center_hz, t);
+                            if act == LinkAction::AckGrant {
+                                meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
+                                fab.send(
+                                    t,
+                                    FEvent::ToAp(ControlMsg::GrantAck {
+                                        node: self.nodes[i].id,
+                                        epoch,
+                                    }),
+                                );
+                                if !keepalive_on[i] {
+                                    keepalive_on[i] = true;
+                                    fab.q
+                                        .schedule_in(
+                                            self.cfg.lease.keepalive_interval,
+                                            FEvent::KeepaliveTick(i),
+                                        )
+                                        .expect("keepalive interval is positive");
+                                }
+                                if !packets_on[i] {
+                                    packets_on[i] = true;
+                                    let offset =
+                                        self.nodes[i].packet_interval() * (i as f64 / n as f64);
+                                    fab.q
+                                        .schedule_at(t + offset, FEvent::Packet(i))
+                                        .expect("first packet is ahead");
+                                }
+                            }
+                            if let Some(d) = healed {
+                                match was {
+                                    LinkState::Joining => {
+                                        recovery.joins += 1;
+                                        join_sum += d.value();
+                                    }
+                                    _ => {
+                                        recovery.recoveries += 1;
+                                        rec_sum += d.value();
+                                        recovery.max_recovery_s =
+                                            recovery.max_recovery_s.max(d.value());
+                                    }
+                                }
+                            }
+                        }
+                        ControlMsg::Reject { .. }
+                            if links[i].on_reject(t) == LinkAction::SendJoin =>
+                        {
+                            fab.send_join(
+                                t,
+                                i,
+                                &links[i],
+                                self.nodes[i].id,
+                                self.nodes[i].demand.bps(),
+                                &mut meters[i],
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                FEvent::Packet(i) => {
+                    if !self.nodes[i].is_active(t) {
+                        rx[i] = DbmPower::ZERO_POWER;
+                        packets_on[i] = false;
+                        continue;
+                    }
+                    if !alive[i] || !links[i].is_streaming() {
+                        // The application clock keeps ticking while the
+                        // radio is down or waiting on re-admission.
+                        rx[i] = DbmPower::ZERO_POWER;
+                        recovery.packets_lost_to_churn += 1;
+                        fab.q
+                            .schedule_in(self.nodes[i].packet_interval(), FEvent::Packet(i))
+                            .expect("packet interval is positive");
+                        continue;
+                    }
+                    let current = blockers(&walkers, &pacer);
+                    let (p, ch) = self.rx_power(i, &current);
+                    let (p, ch) = match faders[i].as_mut() {
+                        Some(f) => {
+                            let faded = f.step(&ch, &mut rng);
+                            let mark = faded.gain(faded.stronger_beam());
+                            (
+                                self.nodes[i].front_end().antenna_power()
+                                    - self.cfg.implementation_loss
+                                    + mark,
+                                faded,
+                            )
+                        }
+                        None => (p, ch),
+                    };
+                    let mut pwr = p - pc_backoff[i];
+                    if burst_depth > 0 {
+                        pwr -= faults.burst_loss;
+                    }
+                    rx[i] = pwr;
+                    seps[i] = ch.level_separation();
+                    let sinr = self.sinr(i, &slots, &rx, spatial.as_ref(), bandwidth);
+                    sinr_sum[i] += sinr.value();
+                    sinr_min[i] = sinr_min[i].min(sinr.value());
+                    sent[i] += 1;
+
+                    let air_bits = self.nodes[i].packet_air_bits();
+                    let proc_gain =
+                        Db::new(10.0 * (bandwidth.hz() / (1.25 * rates[i].bps())).log10())
+                            .max(Db::ZERO);
+                    let decision_snr = sinr + proc_gain;
+                    let in_outage = links[i].state() == LinkState::Outage;
+                    let decodable = decision_snr >= self.cfg.decode_threshold;
+                    let (act, healed) =
+                        links[i].on_packet_sinr(decodable, self.cfg.outage_window, t);
+                    if act == LinkAction::SendJoin {
+                        // Outage declared: FSK fallback + re-admission.
+                        recovery.outages += 1;
+                        fab.send_join(
+                            t,
+                            i,
+                            &links[i],
+                            self.nodes[i].id,
+                            self.nodes[i].demand.bps(),
+                            &mut meters[i],
+                        );
+                    }
+                    if let Some(d) = healed {
+                        recovery.recoveries += 1;
+                        rec_sum += d.value();
+                        recovery.max_recovery_s = recovery.max_recovery_s.max(d.value());
+                    }
+                    // §6.2: in an outage the node drops the ASK bits and
+                    // keeps only the (more robust) FSK stream.
+                    let ber = if in_outage {
+                        fsk_ber(decision_snr)
+                    } else {
+                        joint_ber(decision_snr, seps[i], Db::new(2.0))
+                    };
+                    let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
+                    let airtime = self.nodes[i].packet_airtime(rates[i]);
+                    meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
+                    let ok = rng.gen::<f64>() >= per;
+                    if ok {
+                        delivered[i] += 1;
+                        meters[i].record_delivered(self.nodes[i].payload_bytes as u64 * 8);
+                        // The data plane is proof of liveness: a decoded
+                        // packet refreshes the lease like a keepalive, so
+                        // a streaming node can't lose its spectrum to an
+                        // unlucky run of lost keepalives. Keepalives
+                        // still carry nodes through idle gaps longer
+                        // than the lease.
+                        admission.refresh(self.nodes[i].id, t);
+                    }
+                    if self.cfg.record_trace {
+                        trace.push(PacketSample {
+                            t,
+                            node: i,
+                            sinr_db: sinr.value(),
+                            delivered: ok,
+                        });
+                    }
+                    fab.q
+                        .schedule_in(self.nodes[i].packet_interval(), FEvent::Packet(i))
+                        .expect("packet interval is positive");
+                }
+            }
+        }
+
+        let stats = fab.inj.stats();
+        recovery.control_sent = fab.control_sent;
+        recovery.control_lost = stats.control_lost;
+        recovery.control_retries = fab.control_retries;
+        recovery.stale_grants_discarded = links.iter().map(NodeLink::stale_discarded).sum();
+        recovery.reclaimed_leases = admission.reclaimed_leases();
+        recovery.mean_join_s = if recovery.joins > 0 {
+            join_sum / recovery.joins as f64
+        } else {
+            0.0
+        };
+        recovery.mean_recovery_s = if recovery.recoveries > 0 {
+            rec_sum / recovery.recoveries as f64
+        } else {
+            0.0
+        };
+        recovery.granted_at_end = links
+            .iter()
+            .filter(|l| l.state() == LinkState::Granted)
+            .count();
+        recovery.streaming_at_end = links.iter().filter(|l| l.is_streaming()).count();
+        recovery.alive_at_end = (0..n)
+            .filter(|&i| alive[i] && self.nodes[i].is_active(self.cfg.duration))
+            .count();
+
+        let reports = (0..n)
+            .map(|i| NodeReport {
+                id: self.nodes[i].id,
+                sent: sent[i],
+                delivered: delivered[i],
+                mean_sinr_db: if sent[i] > 0 {
+                    sinr_sum[i] / sent[i] as f64
+                } else {
+                    f64::NAN
+                },
+                min_sinr_db: sinr_min[i],
+                per: if sent[i] > 0 {
+                    1.0 - delivered[i] as f64 / sent[i] as f64
+                } else {
+                    0.0
+                },
+                goodput_bps: delivered[i] as f64 * self.nodes[i].payload_bytes as f64 * 8.0
+                    / self.cfg.duration.value(),
+                energy_j: meters[i].joules(),
+                nj_per_bit: meters[i].nj_per_bit(),
+                slot: slots[i],
+            })
+            .collect();
+        Ok(NetworkReport {
+            nodes: reports,
+            used_sdm,
+            duration: self.cfg.duration,
+            trace,
+            recovery,
         })
     }
 }
@@ -588,8 +1371,18 @@ pub fn run_batch(sims: &[NetworkSim]) -> Vec<Result<NetworkReport, SimError>> {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-        })
-        .min(sims.len().max(1));
+        });
+    run_batch_with_threads(sims, threads)
+}
+
+/// [`run_batch`] with an explicit worker count — the determinism
+/// contract made testable: for any `threads >= 1` the result vector is
+/// bit-identical.
+pub fn run_batch_with_threads(
+    sims: &[NetworkSim],
+    threads: usize,
+) -> Vec<Result<NetworkReport, SimError>> {
+    let threads = threads.max(1).min(sims.len().max(1));
     if threads <= 1 || sims.len() <= 1 {
         return sims.iter().map(NetworkSim::run).collect();
     }
@@ -931,6 +1724,181 @@ mod tests {
             sim.run().unwrap().mean_sinr_db()
         };
         assert_eq!(run(), run());
+    }
+
+    fn faulted_sim(n: usize, faults: FaultConfig, duration: Seconds, seed: u64) -> NetworkSim {
+        let mut sim = sim_with_nodes(n);
+        sim.cfg.faults = Some(faults);
+        sim.cfg.duration = duration;
+        sim.cfg.seed = seed;
+        sim.cfg.walkers = 0;
+        sim
+    }
+
+    #[test]
+    fn quiet_faults_still_run_the_control_plane() {
+        let report = faulted_sim(3, FaultConfig::none(), Seconds::new(1.0), 1)
+            .run()
+            .expect("runs");
+        let r = &report.recovery;
+        assert_eq!(r.joins, 3, "every node admitted exactly once");
+        assert_eq!(r.granted_at_end, 3);
+        assert_eq!(r.alive_at_end, 3);
+        assert_eq!(r.control_lost, 0);
+        assert_eq!(r.control_retries, 0);
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.outages, 0);
+        assert!(r.control_sent > 10, "joins + acks + keepalives flow");
+        assert!(r.mean_join_s > 0.0, "admission takes a control RTT");
+        for node in &report.nodes {
+            assert!(node.sent > 0);
+            assert!(node.per < 0.05, "node {} PER {}", node.id, node.per);
+        }
+    }
+
+    #[test]
+    fn lossy_control_plane_still_admits_everyone() {
+        let report = faulted_sim(4, FaultConfig::lossy(0.3), Seconds::new(2.0), 7)
+            .run()
+            .expect("runs");
+        let r = &report.recovery;
+        assert_eq!(r.granted_at_end, 4, "all nodes granted: {r:?}");
+        assert!(r.control_lost > 0, "30% loss must bite: {r:?}");
+        assert!(r.control_retries > 0, "loss must force retries: {r:?}");
+        assert!(r.mean_join_s > 0.0);
+        for node in &report.nodes {
+            assert!(node.sent > 0, "node {} never streamed", node.id);
+        }
+    }
+
+    #[test]
+    fn crashes_reclaim_leases_and_nodes_rejoin() {
+        // Rejoin delay (600 ms) longer than the lease (400 ms): each
+        // crash must reclaim spectrum before the node returns.
+        let faults = FaultConfig::lossy(0.2).with_churn(0.6, Seconds::from_millis(600.0));
+        let report = faulted_sim(3, faults, Seconds::new(4.0), 5)
+            .run()
+            .expect("runs");
+        let r = &report.recovery;
+        assert!(r.crashes > 0, "0.6 Hz × 3 nodes × 4 s must crash: {r:?}");
+        assert!(r.reclaimed_leases > 0, "crashed leases must expire: {r:?}");
+        assert!(r.recoveries > 0, "crashed nodes must re-admit: {r:?}");
+        assert!(r.packets_lost_to_churn > 0);
+        assert!(r.mean_recovery_s > 0.0);
+        assert!(r.max_recovery_s >= r.mean_recovery_s);
+        assert_eq!(r.granted_at_end, 3, "survivors re-reach Granted: {r:?}");
+    }
+
+    #[test]
+    fn ap_restart_forces_rejoin() {
+        let faults = FaultConfig::none().with_ap_restart(Seconds::new(0.5));
+        let report = faulted_sim(2, faults, Seconds::new(2.0), 3)
+            .run()
+            .expect("runs");
+        let r = &report.recovery;
+        assert_eq!(r.joins, 2);
+        assert!(
+            r.recoveries >= 2,
+            "every node must recover from the restart: {r:?}"
+        );
+        assert_eq!(r.granted_at_end, 2, "{r:?}");
+    }
+
+    #[test]
+    fn blockage_burst_triggers_outage_and_heals() {
+        // One deep correlated burst: the node must fall into the FSK
+        // fallback and heal once the burst passes.
+        let faults =
+            FaultConfig::none().with_bursts(0.45, Seconds::from_millis(400.0), Db::new(45.0));
+        let report = faulted_sim(1, faults, Seconds::new(3.0), 11)
+            .run()
+            .expect("runs");
+        let r = &report.recovery;
+        assert!(r.outages > 0, "a 45 dB burst must break decode: {r:?}");
+        assert!(r.recoveries > 0, "the outage must heal: {r:?}");
+        assert_eq!(r.granted_at_end, 1, "{r:?}");
+        assert!(report.nodes[0].per > 0.0, "burst packets are lost");
+    }
+
+    #[test]
+    fn stale_grants_are_discarded_under_duplication() {
+        let mut faults = FaultConfig::lossy(0.1);
+        faults.control_dup = 0.4;
+        faults.control_delay_max = Seconds::from_millis(25.0);
+        let report = faulted_sim(4, faults, Seconds::new(2.0), 2)
+            .run()
+            .expect("runs");
+        let r = &report.recovery;
+        assert!(
+            r.stale_grants_discarded > 0,
+            "40% duplication must produce stale grants: {r:?}"
+        );
+        assert_eq!(r.granted_at_end, 4, "{r:?}");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let faults = FaultConfig::lossy(0.25).with_churn(0.4, Seconds::from_millis(300.0));
+        let run = || {
+            let mut sim = faulted_sim(3, faults.clone(), Seconds::new(2.0), 13);
+            sim.cfg.record_trace = true;
+            sim.run().expect("runs")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn faults_keep_channel_stream_independent() {
+        // The same seed with and without faults: the walker/fading
+        // draws come from the channel stream, so the *initial* SINR
+        // (first packet, before any fault perturbs timing) matches.
+        let clean = sim_with_nodes(2).run().expect("runs");
+        let mut sim = sim_with_nodes(2);
+        sim.cfg.faults = Some(FaultConfig::none());
+        let faulted = sim.run().expect("runs");
+        for (c, f) in clean.nodes.iter().zip(&faulted.nodes) {
+            // Same channel model, admission overhead aside.
+            assert!(
+                (c.mean_sinr_db - f.mean_sinr_db).abs() < 1.0,
+                "clean {} vs faulted {}",
+                c.mean_sinr_db,
+                f.mean_sinr_db
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_batch_identical_at_any_thread_count() {
+        let mk = |seed| {
+            let faults = FaultConfig::lossy(0.2).with_churn(0.5, Seconds::from_millis(400.0));
+            faulted_sim(3, faults, Seconds::new(1.5), seed)
+        };
+        let sims: Vec<NetworkSim> = (1..=4).map(mk).collect();
+        let serial = run_batch_with_threads(&sims, 1);
+        let parallel = run_batch_with_threads(&sims, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let s = s.as_ref().expect("serial runs");
+            let p = p.as_ref().expect("parallel runs");
+            assert_eq!(s.recovery, p.recovery);
+            assert_eq!(s.nodes, p.nodes);
+        }
+    }
+
+    #[test]
+    fn sdm_load_survives_faults() {
+        // 20 HD cameras exceed the band → SDM + virtual lease plan.
+        let mut sim = sim_with_nodes(20);
+        sim.cfg.faults = Some(FaultConfig::lossy(0.15));
+        sim.cfg.duration = Seconds::new(1.0);
+        sim.cfg.walkers = 0;
+        let report = sim.run().expect("runs");
+        assert!(report.used_sdm);
+        assert_eq!(report.recovery.granted_at_end, 20, "{:?}", report.recovery);
+        assert!(report.mean_sinr_db() > 15.0);
     }
 
     #[test]

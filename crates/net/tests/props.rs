@@ -1,19 +1,53 @@
 //! Property-based tests for the network layer.
 
 use mmx_antenna::tma::Tma;
-use mmx_net::fdm::BandPlan;
+use mmx_channel::response::Pose;
+use mmx_channel::room::{Material, Room};
+use mmx_channel::Vec2;
+use mmx_net::ap::ApStation;
+use mmx_net::control::Admission;
+use mmx_net::fdm::{BandPlan, ChannelAssignment};
 use mmx_net::interference::adjacent_channel_leakage;
+use mmx_net::node::NodeStation;
 use mmx_net::sdm::{SdmScheduler, SdmSlot};
-use mmx_net::EventQueue;
+use mmx_net::sim::{run_batch_with_threads, NetworkSim, SimConfig};
+use mmx_net::{EventQueue, FaultConfig};
 use mmx_units::{BitRate, Degrees, Hertz, Seconds};
 use proptest::prelude::*;
+
+/// A small faulted network: `n` low-rate sensors on an arc around the
+/// AP (low demand keeps the packet count — and the test runtime —
+/// bounded even over long simulated durations).
+fn faulted_network(n: usize, faults: FaultConfig, duration: Seconds, seed: u64) -> NetworkSim {
+    let mut cfg = SimConfig::standard();
+    cfg.faults = Some(faults);
+    cfg.duration = duration;
+    cfg.seed = seed;
+    cfg.walkers = 0;
+    let room = Room::rectangular(6.0, 4.0, Material::Drywall);
+    let ap = ApStation::with_tma(
+        Pose::new(Vec2::new(5.7, 2.0), Degrees::new(180.0)),
+        8,
+        Hertz::from_mhz(1.0),
+    );
+    let ap_pos = Vec2::new(5.7, 2.0);
+    let mut sim = NetworkSim::new(room, ap, cfg);
+    for i in 0..n {
+        let frac = (i as f64 + 0.5) / n as f64;
+        let bearing = Degrees::new(180.0 - 30.0 + 60.0 * frac);
+        let pos = ap_pos + Vec2::from_bearing(bearing) * 3.0;
+        let pose = Pose::facing_toward(pos, ap_pos);
+        sim.add_node(NodeStation::new(i as u8, pose, BitRate::new(50_000.0)));
+    }
+    sim
+}
 
 proptest! {
     #[test]
     fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1000.0, 1..100)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
-            q.schedule_at(Seconds::new(t), i);
+            q.schedule_at(Seconds::new(t), i).expect("fresh queue accepts any finite time");
         }
         let mut prev = f64::NEG_INFINITY;
         while let Some((t, _)) = q.pop() {
@@ -86,5 +120,84 @@ proptest! {
     fn acl_monotone(k in 0usize..10) {
         prop_assert!(adjacent_channel_leakage(k + 1) <= adjacent_channel_leakage(k));
         prop_assert!(adjacent_channel_leakage(k).value() <= 0.0);
+    }
+
+    /// Safety: whatever sequence of joins, leaves, refreshes and expiry
+    /// scans hits the AP, no two live leases ever overlap in frequency.
+    #[test]
+    fn live_leases_never_overlap(
+        ops in prop::collection::vec((0u8..4, 0u8..6, 1.0f64..30.0), 1..60)
+    ) {
+        let mut a = Admission::new(BandPlan::ism_24ghz());
+        let lease = Seconds::from_millis(400.0);
+        let mut now = Seconds::ZERO;
+        for (op, node, mbps) in ops {
+            now += Seconds::from_millis(50.0);
+            match op {
+                0 => { let _ = a.join_at(node, BitRate::from_mbps(mbps), now); }
+                1 => a.leave(node),
+                2 => { a.refresh(node, now); }
+                _ => { a.expire_stale(now, lease); }
+            }
+            let grants: Vec<ChannelAssignment> =
+                (0u8..6).filter_map(|id| a.grant_of(id)).collect();
+            for i in 0..grants.len() {
+                for j in i + 1..grants.len() {
+                    prop_assert!(
+                        !grants[i].band().overlaps(&grants[j].band()),
+                        "leases overlap after op {op} on node {node}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Liveness: under any control-plane loss rate below 1, every
+    /// joining node eventually reaches Granted. The retransmit budget
+    /// scales with the loss: at `p = (1-loss)²` per join round trip and
+    /// ~1 attempt/s once the backoff caps, `duration` leaves the chance
+    /// of a node stuck unadmitted below ~1e-10.
+    #[test]
+    fn every_node_eventually_granted_under_loss(
+        loss in 0.0f64..0.5,
+        seed in 1u64..1000,
+    ) {
+        let sim = faulted_network(2, FaultConfig::lossy(loss), Seconds::new(60.0), seed);
+        let report = sim.run().expect("runs");
+        prop_assert_eq!(
+            report.recovery.granted_at_end, 2,
+            "loss {} seed {} left a node unadmitted: {:?}", loss, seed, report.recovery
+        );
+        prop_assert_eq!(report.recovery.joins, 2);
+        for n in &report.nodes {
+            prop_assert!(n.sent > 0, "node {} never streamed", n.id);
+        }
+    }
+
+    /// Determinism: the same seed produces a byte-identical report —
+    /// packet trace included — at 1 and 8 worker threads.
+    #[test]
+    fn faulted_trace_identical_across_thread_counts(seed in 1u64..1000) {
+        let mk = |s: u64| {
+            let faults = FaultConfig::lossy(0.2)
+                .with_churn(0.3, Seconds::from_millis(500.0));
+            let mut sim = faulted_network(2, faults, Seconds::new(5.0), s);
+            sim.config_mut().record_trace = true;
+            sim
+        };
+        let sims: Vec<NetworkSim> = (0..4).map(|k| mk(seed.wrapping_add(k))).collect();
+        let serial = run_batch_with_threads(&sims, 1);
+        let parallel = run_batch_with_threads(&sims, 8);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let s = s.as_ref().expect("serial runs");
+            let p = p.as_ref().expect("parallel runs");
+            prop_assert_eq!(&s.trace, &p.trace, "event traces diverge across thread counts");
+            prop_assert_eq!(&s.recovery, &p.recovery);
+            prop_assert_eq!(&s.nodes, &p.nodes);
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Fault-injection soak: a seed sweep at the acceptance point — 20%
+//! control-message loss plus nonzero churn — asserting that no run
+//! panics, that every surviving node re-reaches `Granted`, and that the
+//! reports (recovery metrics included) are identical at 1 and 8 worker
+//! threads.
+//!
+//! The sweep width defaults to 24 seeds; CI widens it via the
+//! `MMX_SOAK_SEEDS` environment variable.
+
+use mmx_channel::response::Pose;
+use mmx_channel::room::{Material, Room};
+use mmx_channel::Vec2;
+use mmx_net::ap::ApStation;
+use mmx_net::node::NodeStation;
+use mmx_net::sim::{run_batch_with_threads, NetworkSim, SimConfig};
+use mmx_net::{FaultConfig, FaultInjector};
+use mmx_units::{BitRate, Degrees, Hertz, Seconds};
+
+const NODES: usize = 4;
+const DURATION: Seconds = Seconds::new(60.0);
+const REJOIN: Seconds = Seconds::new(0.6);
+
+/// A crashed node needs one join round trip to settle; this margin
+/// leaves the chance of a legitimate straggler below ~1e-7 per node at
+/// 20% loss (attempts every ≤1 s once the backoff caps, each landing
+/// with probability 0.64).
+const SETTLE_MARGIN: Seconds = Seconds::new(15.0);
+
+fn soak_faults() -> FaultConfig {
+    FaultConfig::lossy(0.2).with_churn(0.25, REJOIN)
+}
+
+fn soak_sim(seed: u64) -> NetworkSim {
+    let mut cfg = SimConfig::standard();
+    cfg.faults = Some(soak_faults());
+    cfg.duration = DURATION;
+    cfg.seed = seed;
+    cfg.walkers = 0;
+    let room = Room::rectangular(6.0, 4.0, Material::Drywall);
+    let ap_pos = Vec2::new(5.7, 2.0);
+    let ap = ApStation::with_tma(
+        Pose::new(ap_pos, Degrees::new(180.0)),
+        8,
+        Hertz::from_mhz(1.0),
+    );
+    let mut sim = NetworkSim::new(room, ap, cfg);
+    for i in 0..NODES {
+        let frac = (i as f64 + 0.5) / NODES as f64;
+        let bearing = Degrees::new(180.0 - 30.0 + 60.0 * frac);
+        let pos = ap_pos + Vec2::from_bearing(bearing) * 3.0;
+        sim.add_node(NodeStation::new(
+            i as u8,
+            Pose::facing_toward(pos, ap_pos),
+            BitRate::new(50_000.0),
+        ));
+    }
+    sim
+}
+
+fn seed_count() -> u64 {
+    std::env::var("MMX_SOAK_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(24)
+}
+
+/// Per-node end-state expectations, recomputed from the same fault
+/// schedule the simulator draws (the injector is deterministic in
+/// `(config, seed)` and the crash schedule is its first query).
+struct Expected {
+    /// Nodes whose last rejoin fires before the run ends.
+    alive: usize,
+    /// Alive nodes whose last rejoin leaves at least `SETTLE_MARGIN`
+    /// of re-admission time — these MUST be `Granted` at the end.
+    settled: usize,
+}
+
+fn expected(seed: u64) -> Expected {
+    let mut inj = FaultInjector::new(soak_faults(), seed);
+    let crashes = inj.crash_schedule(NODES, DURATION);
+    let mut last_rejoin = [Seconds::ZERO; NODES];
+    for c in &crashes {
+        last_rejoin[c.node] = c.at + REJOIN;
+    }
+    Expected {
+        alive: last_rejoin.iter().filter(|&&r| r < DURATION).count(),
+        settled: last_rejoin
+            .iter()
+            .filter(|&&r| r + SETTLE_MARGIN < DURATION)
+            .count(),
+    }
+}
+
+#[test]
+fn soak_surviving_nodes_recover_at_every_seed() {
+    let sims: Vec<NetworkSim> = (0..seed_count()).map(soak_sim).collect();
+    let reports = run_batch_with_threads(&sims, 8);
+    for (seed, report) in reports.iter().enumerate() {
+        let report = report.as_ref().expect("soak run must not fail");
+        let want = expected(seed as u64);
+        let rec = &report.recovery;
+        assert_eq!(
+            rec.joins, NODES as u64,
+            "seed {seed}: a node never completed its first admission: {rec:?}"
+        );
+        assert_eq!(
+            rec.alive_at_end, want.alive,
+            "seed {seed}: alive count diverges from the crash schedule: {rec:?}"
+        );
+        assert!(
+            rec.granted_at_end >= want.settled,
+            "seed {seed}: {} settled survivors but only {} granted: {rec:?}",
+            want.settled,
+            rec.granted_at_end
+        );
+        assert!(rec.control_lost > 0, "seed {seed}: injector was quiet");
+        if rec.crashes > 0 {
+            assert!(
+                rec.reclaimed_leases > 0,
+                "seed {seed}: crashes never reclaimed spectrum: {rec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn soak_reports_identical_at_1_and_8_threads() {
+    // A slice of the sweep is enough for the invariance check — each
+    // seed runs twice here.
+    let sims: Vec<NetworkSim> = (0..seed_count().min(8)).map(soak_sim).collect();
+    let serial = run_batch_with_threads(&sims, 1);
+    let parallel = run_batch_with_threads(&sims, 8);
+    for (seed, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let s = s.as_ref().expect("serial soak run");
+        let p = p.as_ref().expect("parallel soak run");
+        assert_eq!(s, p, "seed {seed}: report depends on thread count");
+    }
+}
