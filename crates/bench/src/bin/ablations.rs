@@ -6,14 +6,16 @@
 use mmx_bench::{ablations, output};
 
 fn main() {
-    output::emit(
+    output::emit_seeded(
         "Ablation §6.2 — orthogonal vs non-orthogonal beams (facing prior)",
         "ablation_beams",
+        5,
         &ablations::beam_ablation(2000, 5),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation §6.3 — ASK-only vs FSK-only vs joint demodulation",
         "ablation_modulation",
+        6,
         &ablations::modulation_ablation(2000, 6),
     );
     output::emit(
@@ -21,14 +23,16 @@ fn main() {
         "ablation_search",
         &ablations::search_ablation(),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation §9.3 — error-correction coding at the link's operating points",
         "ablation_coding",
+        4,
         &ablations::coding_ablation(100_000, 4),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation — uplink power control at 20 nodes (near-far)",
         "ablation_power_control",
+        7,
         &ablations::power_control_ablation(7),
     );
 }

@@ -35,14 +35,16 @@ fn main() {
         s.extra_loss_at_18m_db
     );
 
-    output::emit(
+    output::emit_seeded(
         "Extension — waveform-level BER validation (ASK branch)",
         "ext_ber_ask",
+        3,
         &ext_ber_validation::table("ASK", &ext_ber_validation::ask_sweep(100_000, 3)),
     );
-    output::emit(
+    output::emit_seeded(
         "Extension — waveform-level BER validation (FSK branch)",
         "ext_ber_fsk",
+        4,
         &ext_ber_validation::table("FSK", &ext_ber_validation::fsk_sweep(100_000, 4)),
     );
 
@@ -62,15 +64,17 @@ fn main() {
     );
 
     let grid = ext_faults::sweep(5, 42);
-    output::emit(
+    output::emit_seeded(
         "Extension — goodput under control loss × node churn",
         "ext_faults_grid",
+        42,
         &ext_faults::table(&grid),
     );
     let cdf = ext_faults::recovery_cdf(10, 42);
-    output::emit(
+    output::emit_seeded(
         "Extension — time-to-recover vs control-loss rate (churn 0.3 Hz)",
         "ext_faults_recovery",
+        42,
         &ext_faults::recovery_table(&cdf),
     );
     if let (Some(clean), Some(worst)) = (grid.first(), grid.last()) {

@@ -6,9 +6,10 @@ use mmx_bench::{fig10_snr_map, output};
 
 fn main() {
     let pts = fig10_snr_map::sweep(1);
-    output::emit(
+    output::emit_seeded(
         "Fig. 10 — SNR of mmX's nodes at the AP (w/o and w/ OTAM)",
         "fig10_snr_map",
+        1,
         &fig10_snr_map::table(&pts),
     );
     let s = fig10_snr_map::summarize(&pts);

@@ -6,9 +6,10 @@ use mmx_bench::{fig11_ber_cdf, output};
 
 fn main() {
     let samples = fig11_ber_cdf::samples(1000, 7);
-    output::emit(
+    output::emit_seeded(
         "Fig. 11 — BER CDF across random placements",
         "fig11_ber_cdf",
+        7,
         &fig11_ber_cdf::table(&samples),
     );
     let s = fig11_ber_cdf::summarize(&samples);

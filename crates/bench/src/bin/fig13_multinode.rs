@@ -11,9 +11,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
     let pts = fig13_multinode::sweep(topologies, 11);
-    output::emit(
+    output::emit_seeded(
         "Fig. 13 — multi-node performance: SINR vs concurrent nodes",
         "fig13_multinode",
+        11,
         &fig13_multinode::table(&pts),
     );
     let last = pts.last().expect("non-empty");

@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release -p mmx-bench --bin perf_report`
 
-use mmx_bench::par;
+use mmx_bench::{obs_trace, par};
 use mmx_channel::response::BeamChannel;
 use mmx_dsp::fft::{self, FftPlan};
 use mmx_dsp::goertzel::{Goertzel, GoertzelPair};
@@ -290,6 +290,113 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The observability profile: runs the fig13 fault grid traced and
+/// untraced, writes `results/trace_fig13.jsonl`, and returns the
+/// pre-rendered `profile` JSON object (phase wall timings, enabled-vs-
+/// disabled overhead, trace shape, and sim-domain FSM time-in-state
+/// totals).
+fn profile_json(workers: usize) -> String {
+    use mmx_obs::HostProfiler;
+
+    let mut prof = HostProfiler::new();
+    let sims = prof.time("build_scenarios", || {
+        obs_trace::fig13_fault_scenarios(2, 11)
+    });
+    // Warm caches so the traced/disabled comparison is apples-to-apples.
+    obs_trace::run_disabled(&sims[..1], 1);
+    let bundle = prof.time("traced_run", || obs_trace::run_traced(&sims, workers));
+    prof.time("disabled_run", || {
+        black_box(obs_trace::run_disabled(&sims, workers).len());
+    });
+    let trace_path = prof
+        .time("write_trace", || {
+            obs_trace::write_trace("fig13", &bundle.jsonl)
+        })
+        .expect("write results/trace_fig13.jsonl");
+    let timelines = prof.time("replay", || {
+        let (events, bad) = mmx_obs::parse_jsonl(&bundle.jsonl);
+        assert_eq!(bad, 0, "perf_report produced an unparseable trace");
+        (events.len(), mmx_obs::replay(&events).len())
+    });
+
+    let ms_of = |name: &str| {
+        prof.phases()
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0.0, |p| p.secs * 1e3)
+    };
+    let traced_ms = ms_of("traced_run");
+    let disabled_ms = ms_of("disabled_run");
+    let overhead_pct = if disabled_ms > 0.0 {
+        (traced_ms - disabled_ms) / disabled_ms * 100.0
+    } else {
+        0.0
+    };
+
+    println!("\n  observability profile ({workers} worker(s)):");
+    for p in prof.phases() {
+        println!(
+            "    {:<18} {:>9.2} ms   ({} call(s))",
+            p.name,
+            p.secs * 1e3,
+            p.calls
+        );
+    }
+    println!(
+        "    instrumentation overhead: {overhead_pct:.2}% ({} events, {} scenario timelines)",
+        timelines.0, timelines.1
+    );
+
+    let mut json = String::new();
+    json.push_str("  \"profile\": {\n");
+    let _ = writeln!(json, "    \"threads\": {workers},");
+    json.push_str("    \"phases\": [\n");
+    let n = prof.phases().len();
+    for (i, p) in prof.phases().iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"name\": \"{}\", \"ms\": {:.3}, \"calls\": {}}}",
+            json_escape(p.name),
+            p.secs * 1e3,
+            p.calls
+        );
+        json.push_str(if i + 1 == n { "\n" } else { ",\n" });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"obs_overhead_pct\": {overhead_pct:.2},");
+    json.push_str("    \"trace\": {\n");
+    // Repo-relative when possible: the report is a committed artifact.
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .canonicalize()
+        .ok();
+    let shown = root
+        .as_deref()
+        .and_then(|r| trace_path.strip_prefix(r).ok())
+        .unwrap_or(&trace_path);
+    let _ = writeln!(
+        json,
+        "      \"path\": \"{}\",",
+        json_escape(&shown.display().to_string())
+    );
+    let _ = writeln!(json, "      \"events\": {},", timelines.0);
+    let _ = writeln!(json, "      \"scenarios\": {},", timelines.1);
+    let _ = writeln!(json, "      \"bytes\": {}", bundle.jsonl.len());
+    json.push_str("    },\n");
+    json.push_str("    \"fsm_time_in_state_s\": {\n");
+    let states = ["Idle", "Joining", "Granted", "Outage", "Rejoining"];
+    for (i, s) in states.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      \"{s}\": {:.6}",
+            obs_trace::time_in_state(&bundle.metrics, s)
+        );
+        json.push_str(if i + 1 == states.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("    }\n");
+    json.push_str("  },\n");
+    json
+}
+
 fn main() {
     let workers = par::threads();
     println!("perf_report: timing hot paths ({workers} worker(s) detected)\n");
@@ -338,6 +445,8 @@ fn main() {
         par_section.speedup()
     );
 
+    let profile = profile_json(workers);
+
     sections.push(par_section);
     let mut json = String::new();
     json.push_str("{\n");
@@ -352,6 +461,7 @@ fn main() {
         "  \"naive_dft_1024_ms_per_call\": {:.3},",
         dft_ms / dft_reps as f64
     );
+    json.push_str(&profile);
     json.push_str("  \"sections\": [\n");
     for (i, s) in sections.iter().enumerate() {
         json.push_str("    {\n");

@@ -30,15 +30,17 @@ fn main() {
         &fig09_waveforms::table(),
     );
     let map = fig10_snr_map::sweep(1);
-    output::emit(
+    output::emit_seeded(
         "Fig. 10 — SNR map w/o and w/ OTAM",
         "fig10_snr_map",
+        1,
         &fig10_snr_map::table(&map),
     );
     let ber = fig11_ber_cdf::samples(1000, 7);
-    output::emit(
+    output::emit_seeded(
         "Fig. 11 — BER CDF",
         "fig11_ber_cdf",
+        7,
         &fig11_ber_cdf::table(&ber),
     );
     let range = fig12_range::sweep();
@@ -48,9 +50,10 @@ fn main() {
         &fig12_range::table(&range),
     );
     let multi = fig13_multinode::sweep(10, 11);
-    output::emit(
+    output::emit_seeded(
         "Fig. 13 — SINR vs concurrent nodes",
         "fig13_multinode",
+        11,
         &fig13_multinode::table(&multi),
     );
     output::emit(
@@ -63,14 +66,16 @@ fn main() {
         "table1_microbenchmarks",
         &table1::microbenchmarks(),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation §6.2 — beam orthogonality",
         "ablation_beams",
+        5,
         &ablations::beam_ablation(2000, 5),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation §6.3 — modulation",
         "ablation_modulation",
+        6,
         &ablations::modulation_ablation(2000, 6),
     );
     output::emit(
@@ -78,14 +83,16 @@ fn main() {
         "ablation_search",
         &ablations::search_ablation(),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation §9.3 — coding",
         "ablation_coding",
+        4,
         &ablations::coding_ablation(100_000, 4),
     );
-    output::emit(
+    output::emit_seeded(
         "Ablation — uplink power control at 20 nodes",
         "ablation_power_control",
+        7,
         &ablations::power_control_ablation(7),
     );
 

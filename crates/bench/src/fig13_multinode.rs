@@ -35,7 +35,7 @@ pub struct MultiNodePoint {
     pub used_sdm: bool,
 }
 
-fn random_topology(n: usize, seed: u64) -> NetworkSim {
+pub(crate) fn random_topology(n: usize, seed: u64) -> NetworkSim {
     let room = Room::rectangular(6.0, 4.0, Material::Drywall);
     let ap_pos = Vec2::new(5.7, 2.0);
     // A 16-element TMA: narrower harmonic beams put co-channel nodes in

@@ -24,6 +24,7 @@
 //! | [`ext_60ghz`] | extension: the 60 GHz band plan (§7a) |
 //! | [`ext_blockage`] | extension: blockage dynamics time series |
 //! | [`ext_faults`] | extension: goodput & recovery under injected faults |
+//! | [`obs_trace`] | observability: deterministic fault-scenario traces |
 
 pub mod ablations;
 pub mod ext_60ghz;
@@ -39,6 +40,7 @@ pub mod fig10_snr_map;
 pub mod fig11_ber_cdf;
 pub mod fig12_range;
 pub mod fig13_multinode;
+pub mod obs_trace;
 pub mod output;
 pub mod par;
 pub mod table1;

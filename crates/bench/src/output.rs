@@ -26,10 +26,35 @@ fn workspace_root() -> PathBuf {
 
 /// Prints a titled table and writes it as `results/<name>.csv`.
 pub fn emit(title: &str, name: &str, table: &TextTable) {
+    write_csv(title, name, table, table.to_csv());
+}
+
+/// The provenance comment stamped at the top of seeded CSVs.
+///
+/// The thread field is the literal `any`: every sweep in this harness is
+/// thread-count invariant by construction (per-trial seeding), so the
+/// worker count is deliberately *not* part of an output's identity —
+/// including it would break byte-identity across machines.
+pub fn provenance_header(seed: u64) -> String {
+    format!("# seed={seed}, threads=any (thread-count invariant)\n")
+}
+
+/// Like [`emit`], but stamps the CSV with a [`provenance_header`]
+/// recording the sweep's seed.
+pub fn emit_seeded(title: &str, name: &str, seed: u64, table: &TextTable) {
+    write_csv(
+        title,
+        name,
+        table,
+        provenance_header(seed) + &table.to_csv(),
+    );
+}
+
+fn write_csv(title: &str, name: &str, table: &TextTable, csv: String) {
     println!("== {title} ==");
     println!("{}", table.render());
     let path = results_dir().join(format!("{name}.csv"));
-    match fs::write(&path, table.to_csv()) {
+    match fs::write(&path, csv) {
         Ok(()) => println!("[written {}]\n", path.display()),
         Err(e) => eprintln!("[could not write {}: {e}]\n", path.display()),
     }
@@ -53,6 +78,28 @@ mod tests {
         let p = results_dir().join("zz_smoke_test.csv");
         let content = fs::read_to_string(&p).expect("csv written");
         assert!(content.starts_with("a\n"));
+        let _ = fs::remove_file(p);
+    }
+
+    #[test]
+    fn seeded_emit_stamps_provenance_and_stays_byte_identical() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        emit_seeded("smoke", "zz_seeded_smoke_test", 41, &t);
+        let p = results_dir().join("zz_seeded_smoke_test.csv");
+        let first = fs::read_to_string(&p).expect("csv written");
+        assert!(
+            first.starts_with("# seed=41, threads=any (thread-count invariant)\n"),
+            "missing provenance header: {first:?}"
+        );
+        assert!(first.ends_with("a,b\n1,2\n"));
+        // The header must not depend on ambient worker configuration:
+        // re-emitting under a different thread override is byte-identical.
+        crate::par::set_threads(3);
+        emit_seeded("smoke", "zz_seeded_smoke_test", 41, &t);
+        crate::par::set_threads(0);
+        let second = fs::read_to_string(&p).expect("csv rewritten");
+        assert_eq!(first, second, "seeded CSV bytes depend on thread count");
         let _ = fs::remove_file(p);
     }
 }

@@ -58,6 +58,19 @@ fn ext_ber_validation_is_thread_count_invariant() {
 }
 
 #[test]
+fn obs_trace_bytes_are_thread_count_invariant() {
+    // The acceptance bar for the observability layer: the fig13 fault
+    // grid's concatenated JSONL trace is byte-identical at 1 vs 8
+    // workers (a subset of the grid keeps the test under budget — the
+    // full grid runs in the obs_overhead CI gate).
+    let sims = mmx_bench::obs_trace::fig13_fault_scenarios(1, 11);
+    let sims = &sims[..3];
+    assert_csv_identical(8, "obs_trace", || {
+        mmx_bench::obs_trace::run_traced(sims, par::threads()).jsonl
+    });
+}
+
+#[test]
 fn odd_worker_counts_agree_too() {
     // 3 workers exercises uneven work distribution over the 18 distances.
     assert_csv_identical(3, "fig12@3", || {

@@ -111,6 +111,30 @@ impl BlockageProcess {
         self.blocked
     }
 
+    /// [`BlockageProcess::step`] with observability: each blocked hold
+    /// becomes a `blockage` span in the trace (`begin` on the
+    /// unblocked→blocked edge at sim time `t`, `end` on the reverse
+    /// edge), so burst structure is visible in replay. The RNG draw is
+    /// identical to the plain `step`, and a disabled recorder makes this
+    /// exactly the plain `step`.
+    pub fn step_observed<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        t: f64,
+        node: i64,
+        rec: &mut mmx_obs::Recorder,
+    ) -> bool {
+        let was = self.blocked;
+        let now = self.step(rng);
+        if !was && now {
+            rec.span_begin(t, "blockage", node);
+            rec.inc("blockage_onsets", "");
+        } else if was && !now {
+            rec.span_end(t, "blockage", node);
+        }
+        now
+    }
+
     /// The long-run fraction of time spent blocked.
     pub fn stationary_blocked_fraction(&self) -> f64 {
         if self.p_block + self.p_unblock == 0.0 {
@@ -197,5 +221,32 @@ mod tests {
     #[should_panic(expected = "p_block")]
     fn invalid_probability_rejected() {
         let _ = BlockageProcess::new(1.5, 0.1, false);
+    }
+
+    #[test]
+    fn observed_step_draws_identically_and_traces_spans() {
+        let mut plain = BlockageProcess::pedestrian();
+        let mut observed = BlockageProcess::pedestrian();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rec = mmx_obs::Recorder::enabled();
+        let mut onsets = 0u64;
+        for k in 0..5000 {
+            let was = observed.is_blocked();
+            let a = plain.step(&mut rng_a);
+            let b = observed.step_observed(&mut rng_b, k as f64 * 0.1, 0, &mut rec);
+            assert_eq!(a, b, "observed step diverged at {k}");
+            if !was && b {
+                onsets += 1;
+            }
+        }
+        assert!(onsets > 0, "pedestrian process never blocked in 500 s");
+        assert_eq!(
+            rec.registry()
+                .counter(mmx_obs::Key::plain("blockage_onsets")),
+            onsets
+        );
+        let spans = rec.trace().iter().filter(|e| e.kind == "span").count();
+        assert!(spans as u64 >= onsets, "every onset opens a span");
     }
 }

@@ -23,9 +23,127 @@ use mmx_channel::mobility::{LinearWalker, RandomWaypoint};
 use mmx_channel::response::{beam_channel, BeamChannel};
 use mmx_channel::room::Room;
 use mmx_channel::trace::Tracer;
+use mmx_obs::Recorder;
 use mmx_phy::ber::{fsk_ber, joint_ber};
 use mmx_units::{thermal_noise_dbm, Band, BitRate, Db, DbmPower, Degrees, Hertz, Seconds};
 use rand::{Rng, SeedableRng};
+
+/// Static tag for a link state, used in `fsm` trace events and
+/// `fsm_time_in_state_s` gauge labels.
+fn state_name(s: LinkState) -> &'static str {
+    match s {
+        LinkState::Idle => "Idle",
+        LinkState::Joining => "Joining",
+        LinkState::Granted => "Granted",
+        LinkState::Outage => "Outage",
+        LinkState::Rejoining => "Rejoining",
+    }
+}
+
+/// Trace tags of a control-plane event in flight: message name, subject
+/// node id, and the numeric payload worth keeping (the grant epoch).
+fn ctl_meta(ev: &FEvent) -> Option<(&'static str, i64, f64)> {
+    let msg = match ev {
+        FEvent::ToAp(m) => m,
+        FEvent::ToNode(_, m) => m,
+        _ => return None,
+    };
+    Some(match msg {
+        ControlMsg::JoinRequest { node, .. } => ("join", *node as i64, 0.0),
+        ControlMsg::Grant { node, epoch, .. } => ("grant", *node as i64, *epoch as f64),
+        ControlMsg::GrantAck { node, epoch } => ("ack", *node as i64, *epoch as f64),
+        ControlMsg::Keepalive { node } => ("keepalive", *node as i64, 0.0),
+        ControlMsg::Reject { node } => ("reject", *node as i64, 0.0),
+        ControlMsg::Leave { node } => ("leave", *node as i64, 0.0),
+    })
+}
+
+/// Per-node FSM bookkeeping for observability: charges the stretch
+/// since the last transition to the state just left (gauge + outage
+/// histogram) and emits the `fsm` trace event. No-op (beyond updating
+/// the cursor) when the state did not change or the recorder is
+/// disabled.
+fn fsm_note(
+    rec: &mut Recorder,
+    cursor: &mut [(LinkState, f64)],
+    t: Seconds,
+    i: usize,
+    was: LinkState,
+    now: LinkState,
+) {
+    if was == now {
+        return;
+    }
+    let since = cursor[i].1;
+    cursor[i] = (now, t.value());
+    let dwell = (t.value() - since).max(0.0);
+    rec.gauge_add("fsm_time_in_state_s", state_name(was), dwell);
+    if was == LinkState::Outage {
+        rec.observe("outage_s", "", dwell);
+    }
+    rec.event(
+        t.value(),
+        "fsm",
+        i as i64,
+        state_name(was),
+        state_name(now),
+        0.0,
+    );
+}
+
+/// Stack-local accumulators for the per-packet metrics.
+///
+/// The packet arm is the simulator's hot loop, so samples land in plain
+/// counters and local histograms (one array index per sample) and flush
+/// into the recorder's keyed registry once per run — exactly equivalent,
+/// by the histogram merge law, to observing each sample directly, but
+/// without a keyed map lookup per packet.
+struct PacketMetrics {
+    on: bool,
+    sent: u64,
+    delivered: u64,
+    lost_to_churn: u64,
+    fsk_fallback: u64,
+    sinr_db: mmx_obs::Histogram,
+    margin_db: mmx_obs::Histogram,
+    ber: mmx_obs::Histogram,
+}
+
+impl PacketMetrics {
+    fn new(rec: &Recorder) -> Self {
+        PacketMetrics {
+            on: rec.is_enabled(),
+            sent: 0,
+            delivered: 0,
+            lost_to_churn: 0,
+            fsk_fallback: 0,
+            sinr_db: mmx_obs::Histogram::new(),
+            margin_db: mmx_obs::Histogram::new(),
+            ber: mmx_obs::Histogram::new(),
+        }
+    }
+
+    fn flush(&self, rec: &mut Recorder) {
+        if !self.on {
+            return;
+        }
+        if self.sent > 0 {
+            rec.add("packets_sent", "", self.sent);
+        }
+        if self.delivered > 0 {
+            rec.add("packets_delivered", "", self.delivered);
+        }
+        if self.lost_to_churn > 0 {
+            rec.add("packets_lost_to_churn", "", self.lost_to_churn);
+        }
+        if self.fsk_fallback > 0 {
+            rec.add("fsk_fallback_packets", "", self.fsk_fallback);
+        }
+        rec.observe_hist("sinr_db", "", &self.sinr_db);
+        rec.observe_hist("decision_margin_db", "", &self.margin_db);
+        rec.observe_hist("ber", "", &self.ber);
+    }
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -341,12 +459,21 @@ struct Fabric {
 impl Fabric {
     /// Sends a control message: it arrives after half the control RTT
     /// plus injected delay, unless the injector drops it; duplicates
-    /// arrive shortly after the original.
-    fn send(&mut self, now: Seconds, ev: FEvent) {
+    /// arrive shortly after the original. Every offered message leaves a
+    /// `ctl` trace event carrying its fate (`sent`/`lost`/`dup`).
+    fn send(&mut self, now: Seconds, ev: FEvent, rec: &mut Recorder) {
         self.control_sent += 1;
+        let meta = ctl_meta(&ev);
         let fate = self.inj.control_fate();
         if fate.lost {
+            if let Some((name, node, v)) = meta {
+                rec.event(now.value(), "ctl", node, name, "lost", v);
+            }
             return;
+        }
+        if let Some((name, node, v)) = meta {
+            let tag = if fate.duplicated { "dup" } else { "sent" };
+            rec.event(now.value(), "ctl", node, name, tag, v);
         }
         let at = now + CONTROL_RTT * 0.5 + fate.extra_delay;
         self.q
@@ -360,7 +487,10 @@ impl Fabric {
     }
 
     /// Sends node `idx`'s `JoinRequest` and arms the retransmit timer
-    /// for the attempt the link is currently on.
+    /// for the attempt the link is currently on. Retransmissions (any
+    /// attempt past the first) leave a `retry` trace event with the
+    /// attempt number and count into `join_retries`.
+    #[allow(clippy::too_many_arguments)]
     fn send_join(
         &mut self,
         now: Seconds,
@@ -369,14 +499,25 @@ impl Fabric {
         node: NodeId,
         demand_bps: f64,
         meter: &mut EnergyMeter,
+        rec: &mut Recorder,
     ) {
         meter.record_fixed(CONTROL_MSG_ENERGY_J);
         if link.attempt() > 0 {
             self.control_retries += 1;
+            rec.inc("join_retries", "");
+            rec.event(
+                now.value(),
+                "retry",
+                idx as i64,
+                "join",
+                "",
+                link.attempt() as f64,
+            );
         }
         self.send(
             now,
             FEvent::ToAp(ControlMsg::JoinRequest { node, demand_bps }),
+            rec,
         );
         let retry = now + self.backoff.delay(link.attempt(), self.inj.jitter());
         self.q
@@ -560,19 +701,34 @@ impl NetworkSim {
     /// grants, leases with keepalives, churn, blockage bursts and AP
     /// restarts — and fills [`NetworkReport::recovery`].
     pub fn run(&self) -> Result<NetworkReport, SimError> {
+        self.run_observed(&mut Recorder::disabled())
+    }
+
+    /// [`NetworkSim::run`] with observability: metrics, FSM/control
+    /// trace events and blockage spans flow into `rec`.
+    ///
+    /// Every trace timestamp is the **simulated** event-queue clock, and
+    /// nothing about the run's RNG stream or outcome depends on the
+    /// recorder, so (a) `run_observed(&mut Recorder::disabled())` is
+    /// exactly `run()` with zero added allocations, and (b) the recorded
+    /// trace is a pure function of the scenario — byte-identical across
+    /// worker thread counts.
+    pub fn run_observed(&self, rec: &mut Recorder) -> Result<NetworkReport, SimError> {
         match self.cfg.faults.clone() {
-            Some(f) => self.run_faulted(f),
-            None => self.run_static(),
+            Some(f) => self.run_faulted(f, rec),
+            None => self.run_static(rec),
         }
     }
 
     /// The fault-free engine (the pre-fault-injection behavior,
     /// byte-for-byte).
-    fn run_static(&self) -> Result<NetworkReport, SimError> {
+    fn run_static(&self, rec: &mut Recorder) -> Result<NetworkReport, SimError> {
         if self.nodes.is_empty() {
             return Err(SimError::Empty);
         }
         let (slots, rates, used_sdm) = self.plan_slots()?;
+        rec.event(0.0, "run", -1, "begin", "", self.nodes.len() as f64);
+        let mut pm = PacketMetrics::new(rec);
         let aoa = self.arrival_angles();
         let spatial = self.spatial_gains(&slots, &aoa, used_sdm);
         let bandwidth = if used_sdm {
@@ -734,12 +890,18 @@ impl NetworkSim {
                         Db::new(10.0 * (bandwidth.hz() / (1.25 * rates[i].bps())).log10())
                             .max(Db::ZERO);
                     let ber = joint_ber(sinr + proc_gain, seps[i], Db::new(2.0));
+                    pm.sent += 1;
+                    if pm.on {
+                        pm.sinr_db.record(sinr.value());
+                        pm.ber.record(ber);
+                    }
                     let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
                     let airtime = self.nodes[i].packet_airtime(rates[i]);
                     meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
                     let ok = rng.gen::<f64>() >= per;
                     if ok {
                         delivered[i] += 1;
+                        pm.delivered += 1;
                         meters[i].record_delivered(self.nodes[i].payload_bytes as u64 * 8);
                     }
                     if self.cfg.record_trace {
@@ -756,6 +918,8 @@ impl NetworkSim {
             }
         }
 
+        pm.flush(rec);
+        rec.event(self.cfg.duration.value(), "run", -1, "end", "", 0.0);
         let reports = (0..self.nodes.len())
             .map(|i| NodeReport {
                 id: self.nodes[i].id,
@@ -812,12 +976,18 @@ impl NetworkSim {
     /// The faulted engine: the same PHY/channel model as
     /// [`run_static`](Self::run_static), with the control plane run
     /// for real through a seeded [`FaultInjector`].
-    fn run_faulted(&self, faults: FaultConfig) -> Result<NetworkReport, SimError> {
+    fn run_faulted(
+        &self,
+        faults: FaultConfig,
+        rec: &mut Recorder,
+    ) -> Result<NetworkReport, SimError> {
         if self.nodes.is_empty() {
             return Err(SimError::Empty);
         }
         let n = self.nodes.len();
         let (slots, rates, used_sdm) = self.plan_slots()?;
+        rec.event(0.0, "run", -1, "begin", "", n as f64);
+        let mut pm = PacketMetrics::new(rec);
         let aoa = self.arrival_angles();
         let spatial = self.spatial_gains(&slots, &aoa, used_sdm);
         let bandwidth = if used_sdm {
@@ -924,6 +1094,9 @@ impl NetworkSim {
         let mut join_sum = 0.0f64;
         let mut rec_sum = 0.0f64;
         let mut burst_depth = 0u32;
+        // FSM observability cursor: (state, entered-at) per node, so
+        // each transition charges the dwell time to the state just left.
+        let mut fsm_cursor: Vec<(LinkState, f64)> = vec![(LinkState::Idle, 0.0); n];
         let idx_of = |id: NodeId| self.nodes.iter().position(|m| m.id == id);
 
         let mut fab = Fabric {
@@ -997,7 +1170,9 @@ impl NetworkSim {
                     if !self.nodes[i].is_active(t) {
                         continue;
                     }
+                    let was = links[i].state();
                     links[i].start_join(t);
+                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
                     fab.send_join(
                         t,
                         i,
@@ -1005,6 +1180,7 @@ impl NetworkSim {
                         self.nodes[i].id,
                         self.nodes[i].demand.bps(),
                         &mut meters[i],
+                        rec,
                     );
                 }
                 FEvent::Rejoin(i) => {
@@ -1014,7 +1190,9 @@ impl NetworkSim {
                         continue;
                     }
                     alive[i] = true;
+                    let was = links[i].state();
                     links[i].start_join(t);
+                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
                     fab.send_join(
                         t,
                         i,
@@ -1022,18 +1200,23 @@ impl NetworkSim {
                         self.nodes[i].id,
                         self.nodes[i].demand.bps(),
                         &mut meters[i],
+                        rec,
                     );
                 }
                 FEvent::Depart(i) => {
                     alive[i] = false;
                     rx[i] = DbmPower::ZERO_POWER;
+                    let was = links[i].state();
                     links[i].on_crash();
+                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                    rec.event(t.value(), "fault", i as i64, "depart", "", 0.0);
                     meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
                     fab.send(
                         t,
                         FEvent::ToAp(ControlMsg::Leave {
                             node: self.nodes[i].id,
                         }),
+                        rec,
                     );
                 }
                 FEvent::Crash(i) => {
@@ -1042,7 +1225,11 @@ impl NetworkSim {
                     }
                     alive[i] = false;
                     rx[i] = DbmPower::ZERO_POWER;
+                    let was = links[i].state();
                     links[i].on_crash();
+                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                    rec.event(t.value(), "fault", i as i64, "crash", "", 0.0);
+                    rec.inc("faults", "crash");
                     recovery.crashes += 1;
                 }
                 FEvent::RetryJoin(i, attempt) => {
@@ -1057,6 +1244,7 @@ impl NetworkSim {
                             self.nodes[i].id,
                             self.nodes[i].demand.bps(),
                             &mut meters[i],
+                            rec,
                         );
                     }
                 }
@@ -1071,6 +1259,7 @@ impl NetworkSim {
                         FEvent::ToAp(ControlMsg::Keepalive {
                             node: self.nodes[i].id,
                         }),
+                        rec,
                     );
                     fab.q
                         .schedule_in(self.cfg.lease.keepalive_interval, FEvent::KeepaliveTick(i))
@@ -1078,11 +1267,17 @@ impl NetworkSim {
                 }
                 FEvent::LeaseCheck => {
                     for id in admission.expire_stale(t, self.cfg.lease.duration) {
+                        rec.event(t.value(), "lease", id as i64, "expired", "", 0.0);
+                        rec.inc("leases_expired", "");
                         // The node may still believe it is granted (all
                         // its keepalives were lost): tell it to rejoin.
                         if let Some(i) = idx_of(id) {
                             if alive[i] && links[i].is_streaming() {
-                                fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node: id }));
+                                fab.send(
+                                    t,
+                                    FEvent::ToNode(i, ControlMsg::Reject { node: id }),
+                                    rec,
+                                );
                             }
                         }
                     }
@@ -1091,10 +1286,22 @@ impl NetworkSim {
                         .expect("lease scan interval is positive");
                 }
                 FEvent::ApRestart => {
+                    rec.event(t.value(), "fault", -1, "ap_restart", "", 0.0);
+                    rec.inc("faults", "ap_restart");
                     admission.restart();
                 }
-                FEvent::BurstStart => burst_depth += 1,
-                FEvent::BurstEnd => burst_depth = burst_depth.saturating_sub(1),
+                FEvent::BurstStart => {
+                    if burst_depth == 0 {
+                        rec.span_begin(t.value(), "burst", -1);
+                    }
+                    burst_depth += 1;
+                }
+                FEvent::BurstEnd => {
+                    burst_depth = burst_depth.saturating_sub(1);
+                    if burst_depth == 0 {
+                        rec.span_end(t.value(), "burst", -1);
+                    }
+                }
                 FEvent::ToAp(msg) => match msg {
                     ControlMsg::JoinRequest { node, demand_bps } => {
                         match admission.join_at(node, BitRate::new(demand_bps), t) {
@@ -1102,14 +1309,18 @@ impl NetworkSim {
                                 for g in grants {
                                     if let ControlMsg::Grant { node: gid, .. } = &g {
                                         if let Some(i) = idx_of(*gid) {
-                                            fab.send(t, FEvent::ToNode(i, g.clone()));
+                                            fab.send(t, FEvent::ToNode(i, g.clone()), rec);
                                         }
                                     }
                                 }
                             }
                             Err(_) => {
                                 if let Some(i) = idx_of(node) {
-                                    fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node }));
+                                    fab.send(
+                                        t,
+                                        FEvent::ToNode(i, ControlMsg::Reject { node }),
+                                        rec,
+                                    );
                                 }
                             }
                         }
@@ -1118,7 +1329,7 @@ impl NetworkSim {
                     ControlMsg::Keepalive { node } => {
                         if !admission.refresh(node, t) {
                             if let Some(i) = idx_of(node) {
-                                fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node }));
+                                fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node }), rec);
                             }
                         }
                     }
@@ -1135,6 +1346,7 @@ impl NetworkSim {
                         } => {
                             let was = links[i].state();
                             let (act, healed) = links[i].on_grant(epoch, center_hz, t);
+                            fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
                             if act == LinkAction::AckGrant {
                                 meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
                                 fab.send(
@@ -1143,6 +1355,7 @@ impl NetworkSim {
                                         node: self.nodes[i].id,
                                         epoch,
                                     }),
+                                    rec,
                                 );
                                 if !keepalive_on[i] {
                                     keepalive_on[i] = true;
@@ -1167,27 +1380,49 @@ impl NetworkSim {
                                     LinkState::Joining => {
                                         recovery.joins += 1;
                                         join_sum += d.value();
+                                        rec.event(
+                                            t.value(),
+                                            "recover",
+                                            i as i64,
+                                            "join",
+                                            "",
+                                            d.value(),
+                                        );
+                                        rec.observe("join_s", "", d.value());
                                     }
                                     _ => {
                                         recovery.recoveries += 1;
                                         rec_sum += d.value();
                                         recovery.max_recovery_s =
                                             recovery.max_recovery_s.max(d.value());
+                                        rec.event(
+                                            t.value(),
+                                            "recover",
+                                            i as i64,
+                                            "rejoin",
+                                            "",
+                                            d.value(),
+                                        );
+                                        rec.observe("recovery_s", "", d.value());
                                     }
                                 }
                             }
                         }
-                        ControlMsg::Reject { .. }
-                            if links[i].on_reject(t) == LinkAction::SendJoin =>
-                        {
-                            fab.send_join(
-                                t,
-                                i,
-                                &links[i],
-                                self.nodes[i].id,
-                                self.nodes[i].demand.bps(),
-                                &mut meters[i],
-                            );
+                        ControlMsg::Reject { .. } => {
+                            let was = links[i].state();
+                            let act = links[i].on_reject(t);
+                            fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                            if act == LinkAction::SendJoin {
+                                fab.send_join(
+                                    t,
+                                    i,
+                                    &links[i],
+                                    self.nodes[i].id,
+                                    self.nodes[i].demand.bps(),
+                                    &mut meters[i],
+                                    rec,
+                                );
+                            }
                         }
                         _ => {}
                     }
@@ -1203,6 +1438,7 @@ impl NetworkSim {
                         // radio is down or waiting on re-admission.
                         rx[i] = DbmPower::ZERO_POWER;
                         recovery.packets_lost_to_churn += 1;
+                        pm.lost_to_churn += 1;
                         fab.q
                             .schedule_in(self.nodes[i].packet_interval(), FEvent::Packet(i))
                             .expect("packet interval is positive");
@@ -1241,11 +1477,14 @@ impl NetworkSim {
                     let decision_snr = sinr + proc_gain;
                     let in_outage = links[i].state() == LinkState::Outage;
                     let decodable = decision_snr >= self.cfg.decode_threshold;
+                    let was = links[i].state();
                     let (act, healed) =
                         links[i].on_packet_sinr(decodable, self.cfg.outage_window, t);
+                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
                     if act == LinkAction::SendJoin {
                         // Outage declared: FSK fallback + re-admission.
                         recovery.outages += 1;
+                        rec.event(t.value(), "recover", i as i64, "outage", "", 0.0);
                         fab.send_join(
                             t,
                             i,
@@ -1253,26 +1492,38 @@ impl NetworkSim {
                             self.nodes[i].id,
                             self.nodes[i].demand.bps(),
                             &mut meters[i],
+                            rec,
                         );
                     }
                     if let Some(d) = healed {
                         recovery.recoveries += 1;
                         rec_sum += d.value();
                         recovery.max_recovery_s = recovery.max_recovery_s.max(d.value());
+                        rec.event(t.value(), "recover", i as i64, "rejoin", "", d.value());
+                        rec.observe("recovery_s", "", d.value());
                     }
                     // §6.2: in an outage the node drops the ASK bits and
                     // keeps only the (more robust) FSK stream.
                     let ber = if in_outage {
+                        pm.fsk_fallback += 1;
                         fsk_ber(decision_snr)
                     } else {
                         joint_ber(decision_snr, seps[i], Db::new(2.0))
                     };
+                    pm.sent += 1;
+                    if pm.on {
+                        pm.sinr_db.record(sinr.value());
+                        pm.margin_db
+                            .record((decision_snr - self.cfg.decode_threshold).value());
+                        pm.ber.record(ber);
+                    }
                     let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
                     let airtime = self.nodes[i].packet_airtime(rates[i]);
                     meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
                     let ok = rng.gen::<f64>() >= per;
                     if ok {
                         delivered[i] += 1;
+                        pm.delivered += 1;
                         meters[i].record_delivered(self.nodes[i].payload_bytes as u64 * 8);
                         // The data plane is proof of liveness: a decoded
                         // packet refreshes the lease like a keepalive, so
@@ -1296,6 +1547,20 @@ impl NetworkSim {
                 }
             }
         }
+
+        // Close out the FSM dwell accounting at the horizon and stamp
+        // the run end.
+        pm.flush(rec);
+        if rec.is_enabled() {
+            for &(state, since) in &fsm_cursor {
+                rec.gauge_add(
+                    "fsm_time_in_state_s",
+                    state_name(state),
+                    (self.cfg.duration.value() - since).max(0.0),
+                );
+            }
+        }
+        rec.event(self.cfg.duration.value(), "run", -1, "end", "", 0.0);
 
         let stats = fab.inj.stats();
         recovery.control_sent = fab.control_sent;
@@ -1397,6 +1662,45 @@ pub fn run_batch_with_threads(
                     break;
                 }
                 *slots[i].lock() = Some(sims[i].run());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every scenario ran"))
+        .collect()
+}
+
+/// [`run_batch_with_threads`] with observability: each scenario runs
+/// with its own enabled [`Recorder`], so per-run traces never interleave
+/// and the pair at index `i` is bit-identical to running
+/// `sims[i].run_observed(..)` alone — at any thread count. Concatenate
+/// the recorders' JSONL in index order for a batch trace; the `run`
+/// begin/end markers delimit the scenarios.
+pub fn run_batch_observed_with_threads(
+    sims: &[NetworkSim],
+    threads: usize,
+) -> Vec<(Result<NetworkReport, SimError>, Recorder)> {
+    let run_one = |sim: &NetworkSim| {
+        let mut rec = Recorder::enabled();
+        let report = sim.run_observed(&mut rec);
+        (report, rec)
+    };
+    let threads = threads.max(1).min(sims.len().max(1));
+    if threads <= 1 || sims.len() <= 1 {
+        return sims.iter().map(run_one).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    type Slot = parking_lot::Mutex<Option<(Result<NetworkReport, SimError>, Recorder)>>;
+    let slots: Vec<Slot> = sims.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= sims.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(run_one(&sims[i]));
             });
         }
     });
@@ -1899,6 +2203,104 @@ mod tests {
         assert!(report.used_sdm);
         assert_eq!(report.recovery.granted_at_end, 20, "{:?}", report.recovery);
         assert!(report.mean_sinr_db() > 15.0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let faults = FaultConfig::lossy(0.25).with_churn(0.4, Seconds::from_millis(300.0));
+        let sim = faulted_sim(3, faults, Seconds::new(2.0), 13);
+        let plain = sim.run().expect("runs");
+        let mut rec = Recorder::enabled();
+        let observed = sim.run_observed(&mut rec).expect("runs");
+        assert_eq!(plain.nodes, observed.nodes, "observation changed the run");
+        assert_eq!(plain.recovery, observed.recovery);
+        assert!(!rec.trace().is_empty(), "faulted run must trace");
+    }
+
+    #[test]
+    fn observed_trace_is_deterministic_and_structured() {
+        let faults = FaultConfig::lossy(0.3).with_churn(0.5, Seconds::from_millis(400.0));
+        let jsonl = || {
+            let mut rec = Recorder::enabled();
+            faulted_sim(3, faults.clone(), Seconds::new(2.0), 7)
+                .run_observed(&mut rec)
+                .expect("runs");
+            rec.trace_jsonl()
+        };
+        let a = jsonl();
+        assert_eq!(a, jsonl(), "same seed, same trace bytes");
+        assert!(a.starts_with(r#"{"t":0,"kind":"run","node":-1,"a":"begin""#));
+        assert!(a
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .contains(r#""kind":"run""#));
+        // The trace replays into a per-node FSM timeline covering the
+        // whole horizon.
+        let (events, bad) = mmx_obs::parse_jsonl(&a);
+        assert_eq!(bad, 0, "every line parses");
+        let runs = mmx_obs::replay(&events);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].nodes.len(), 3, "all three nodes transitioned");
+        for (node, tl) in &runs[0].nodes {
+            assert!(tl.transitions > 0, "node {node} never moved");
+            assert!(tl.time_in_state.values().sum::<f64>() <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn observed_metrics_cross_check_the_report() {
+        let faults = FaultConfig::lossy(0.2).with_churn(0.6, Seconds::from_millis(600.0));
+        let sim = faulted_sim(3, faults, Seconds::new(4.0), 5);
+        let mut rec = Recorder::enabled();
+        let report = sim.run_observed(&mut rec).expect("runs");
+        let reg = rec.registry();
+        let sent: u64 = report.nodes.iter().map(|n| n.sent).sum();
+        let delivered: u64 = report.nodes.iter().map(|n| n.delivered).sum();
+        assert_eq!(reg.counter(mmx_obs::Key::plain("packets_sent")), sent);
+        assert_eq!(
+            reg.counter(mmx_obs::Key::plain("packets_delivered")),
+            delivered
+        );
+        assert_eq!(
+            reg.counter(mmx_obs::Key::labelled("faults", "crash")),
+            report.recovery.crashes
+        );
+        assert_eq!(
+            reg.counter(mmx_obs::Key::plain("join_retries")),
+            report.recovery.control_retries
+        );
+        assert_eq!(rec.histogram("sinr_db").unwrap().count(), sent);
+        // The per-state dwell gauges sum to nodes × duration.
+        let dwell: f64 = reg
+            .gauges()
+            .filter(|(k, _)| k.name == "fsm_time_in_state_s")
+            .map(|(_, v)| v)
+            .sum();
+        assert!(
+            (dwell - 3.0 * 4.0).abs() < 1e-6,
+            "dwell accounting leaked: {dwell}"
+        );
+    }
+
+    #[test]
+    fn observed_batch_matches_serial_and_any_thread_count() {
+        let mk = |seed| {
+            let faults = FaultConfig::lossy(0.2).with_churn(0.5, Seconds::from_millis(400.0));
+            faulted_sim(3, faults, Seconds::new(1.5), seed)
+        };
+        let sims: Vec<NetworkSim> = (1..=4).map(mk).collect();
+        let serial = run_batch_observed_with_threads(&sims, 1);
+        let parallel = run_batch_observed_with_threads(&sims, 4);
+        for ((sr, srec), (pr, prec)) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                sr.as_ref().expect("serial runs").nodes,
+                pr.as_ref().expect("parallel runs").nodes
+            );
+            assert_eq!(srec.trace_jsonl(), prec.trace_jsonl(), "trace bytes differ");
+            assert_eq!(srec.registry().render(), prec.registry().render());
+        }
     }
 
     #[test]

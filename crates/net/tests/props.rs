@@ -10,7 +10,9 @@ use mmx_net::fdm::{BandPlan, ChannelAssignment};
 use mmx_net::interference::adjacent_channel_leakage;
 use mmx_net::node::NodeStation;
 use mmx_net::sdm::{SdmScheduler, SdmSlot};
-use mmx_net::sim::{run_batch_with_threads, NetworkSim, SimConfig};
+use mmx_net::sim::{
+    run_batch_observed_with_threads, run_batch_with_threads, NetworkSim, SimConfig,
+};
 use mmx_net::{EventQueue, FaultConfig};
 use mmx_units::{BitRate, Degrees, Hertz, Seconds};
 use proptest::prelude::*;
@@ -198,6 +200,43 @@ proptest! {
             prop_assert_eq!(&s.trace, &p.trace, "event traces diverge across thread counts");
             prop_assert_eq!(&s.recovery, &p.recovery);
             prop_assert_eq!(&s.nodes, &p.nodes);
+        }
+    }
+
+    /// Observability determinism: the sim-domain JSONL trace (FSM
+    /// transitions, control fates, fault markers) of the PR 2 fault
+    /// scenario is byte-identical at 1 and 8 worker threads, and the
+    /// metrics registries render identically too.
+    #[test]
+    fn observed_jsonl_trace_identical_across_thread_counts(seed in 1u64..1000) {
+        let mk = |s: u64| {
+            let faults = FaultConfig::lossy(0.2)
+                .with_churn(0.3, Seconds::from_millis(500.0));
+            faulted_network(2, faults, Seconds::new(5.0), s)
+        };
+        let sims: Vec<NetworkSim> = (0..4).map(|k| mk(seed.wrapping_add(k))).collect();
+        let serial = run_batch_observed_with_threads(&sims, 1);
+        let parallel = run_batch_observed_with_threads(&sims, 8);
+        let cat = |runs: &[(Result<mmx_net::sim::NetworkReport, mmx_net::sim::SimError>, mmx_obs::Recorder)]| {
+            runs.iter().map(|(_, r)| r.trace_jsonl()).collect::<String>()
+        };
+        let s_jsonl = cat(&serial);
+        prop_assert_eq!(&s_jsonl, &cat(&parallel), "JSONL traces diverge across thread counts");
+        for ((sr, srec), (pr, prec)) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(
+                &sr.as_ref().expect("serial runs").nodes,
+                &pr.as_ref().expect("parallel runs").nodes
+            );
+            prop_assert_eq!(srec.registry().render(), prec.registry().render());
+        }
+        // The concatenated batch trace replays into one timeline per
+        // scenario, each with both nodes accounted for.
+        let (events, bad) = mmx_obs::parse_jsonl(&s_jsonl);
+        prop_assert_eq!(bad, 0);
+        let runs = mmx_obs::replay(&events);
+        prop_assert_eq!(runs.len(), 4);
+        for run in &runs {
+            prop_assert_eq!(run.nodes.len(), 2);
         }
     }
 }

@@ -1,0 +1,88 @@
+//! Host-domain profiling: wall-clock phase timings for the bench
+//! harness, kept strictly apart from the deterministic sim-domain
+//! trace.
+//!
+//! Phase timings measure the *host* (how long `fig13` took to compute),
+//! not the *simulation* (what happened at t = 1.2 s), so they are
+//! allowed to vary run-to-run and must never leak into trace files that
+//! promise byte-identity. They feed the `profile` section of
+//! `BENCH_report.json`.
+
+use std::time::Instant;
+
+/// One named phase's accumulated wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Phase name (insertion order is preserved).
+    pub name: &'static str,
+    /// Accumulated wall-clock seconds.
+    pub secs: f64,
+    /// Number of times the phase ran.
+    pub calls: u64,
+}
+
+/// Accumulates wall-clock time per named phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostProfiler {
+    phases: Vec<Phase>,
+}
+
+impl HostProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        HostProfiler::default()
+    }
+
+    /// Runs `f`, charging its wall time to `name`. Repeated calls with
+    /// the same name accumulate.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Charges `secs` of wall time to `name` directly.
+    pub fn add(&mut self, name: &'static str, secs: f64) {
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.secs += secs;
+                p.calls += 1;
+            }
+            None => self.phases.push(Phase {
+                name,
+                secs,
+                calls: 1,
+            }),
+        }
+    }
+
+    /// The phases, in first-use order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total wall time across all phases, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_per_phase() {
+        let mut p = HostProfiler::new();
+        let x = p.time("a", || 41 + 1);
+        assert_eq!(x, 42);
+        p.time("b", || ());
+        p.time("a", || ());
+        assert_eq!(p.phases().len(), 2);
+        assert_eq!(p.phases()[0].name, "a");
+        assert_eq!(p.phases()[0].calls, 2);
+        assert_eq!(p.phases()[1].calls, 1);
+        assert!(p.total_secs() >= 0.0);
+    }
+}

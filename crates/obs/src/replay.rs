@@ -1,0 +1,246 @@
+//! Trace replay: turns a JSONL trace back into a per-node timeline —
+//! time-in-state for the Idle → Joining → Granted → Outage → Rejoining
+//! control-link FSM, plus event tallies.
+//!
+//! The parser accepts exactly the fixed-shape lines
+//! [`TraceEvent::write_json`](crate::trace::TraceEvent::write_json)
+//! emits (key order fixed, tags escape-free); anything else is reported
+//! as a malformed-line count rather than a panic, so a truncated ring
+//! flush still replays.
+
+use std::collections::BTreeMap;
+
+/// One parsed trace event (owned strings: the file outlives no one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Simulation time, seconds.
+    pub t: f64,
+    /// Event kind.
+    pub kind: String,
+    /// Node index (`-1` = network-wide).
+    pub node: i64,
+    /// First payload tag.
+    pub a: String,
+    /// Second payload tag.
+    pub b: String,
+    /// Numeric payload.
+    pub v: f64,
+}
+
+/// Parses one JSONL trace line. Returns `None` on malformed input.
+pub fn parse_line(line: &str) -> Option<ParsedEvent> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    let num = |key: &str| -> Option<f64> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse::<f64>().ok()
+    };
+    let text = |key: &str| -> Option<String> {
+        let tag = format!("\"{key}\":\"");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find('"')?;
+        Some(rest[..end].to_string())
+    };
+    Some(ParsedEvent {
+        t: num("t")?,
+        kind: text("kind")?,
+        node: num("node")? as i64,
+        a: text("a")?,
+        b: text("b")?,
+        v: num("v")?,
+    })
+}
+
+/// Parses a whole JSONL document, counting malformed lines instead of
+/// failing on them.
+pub fn parse_jsonl(text: &str) -> (Vec<ParsedEvent>, u64) {
+    let mut events = Vec::new();
+    let mut bad = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(ev) => events.push(ev),
+            None => bad += 1,
+        }
+    }
+    (events, bad)
+}
+
+/// One node's replayed control-link history within one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeTimeline {
+    /// Seconds spent in each FSM state.
+    pub time_in_state: BTreeMap<String, f64>,
+    /// Number of FSM transitions observed.
+    pub transitions: u64,
+    /// The state the node ended the run in.
+    pub final_state: String,
+}
+
+/// The replayed summary of one run (between `run begin` markers).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTimeline {
+    /// Per-node timelines, node order.
+    pub nodes: BTreeMap<i64, NodeTimeline>,
+    /// Event counts per kind.
+    pub kinds: BTreeMap<String, u64>,
+    /// Run end time (the `run end` marker, or the last event seen).
+    pub end: f64,
+}
+
+impl RunTimeline {
+    /// Total seconds all nodes spent in `state`.
+    pub fn total_in_state(&self, state: &str) -> f64 {
+        self.nodes
+            .values()
+            .filter_map(|n| n.time_in_state.get(state))
+            .sum()
+    }
+}
+
+/// Replays a parsed event stream into per-run timelines. A `run`/
+/// `begin` event closes the current run and opens the next, so a file
+/// holding several concatenated run traces replays into several
+/// timelines.
+pub fn replay(events: &[ParsedEvent]) -> Vec<RunTimeline> {
+    let mut runs: Vec<RunTimeline> = Vec::new();
+    let mut cur = RunTimeline::default();
+    // Per-node (state, since) while replaying the current run.
+    let mut live: BTreeMap<i64, (String, f64)> = BTreeMap::new();
+    let mut saw_any = false;
+
+    let close = |cur: &mut RunTimeline, live: &mut BTreeMap<i64, (String, f64)>| {
+        for (node, (state, since)) in live.iter() {
+            let n = cur.nodes.entry(*node).or_default();
+            *n.time_in_state.entry(state.clone()).or_insert(0.0) += (cur.end - since).max(0.0);
+            n.final_state = state.clone();
+        }
+        live.clear();
+    };
+
+    for ev in events {
+        if ev.kind == "run" && ev.a == "begin" && saw_any {
+            close(&mut cur, &mut live);
+            runs.push(std::mem::take(&mut cur));
+        }
+        saw_any = true;
+        *cur.kinds.entry(ev.kind.clone()).or_insert(0) += 1;
+        cur.end = cur.end.max(ev.t);
+        if ev.kind == "fsm" {
+            let n = cur.nodes.entry(ev.node).or_default();
+            n.transitions += 1;
+            let (state, since) = live
+                .entry(ev.node)
+                .or_insert_with(|| (ev.a.clone(), 0.0))
+                .clone();
+            // Charge the elapsed stretch to the state we were in (trust
+            // the event's from-tag when it disagrees — ring eviction can
+            // hide intermediate transitions).
+            let charged = if state == ev.a { state } else { ev.a.clone() };
+            *n.time_in_state.entry(charged).or_insert(0.0) += (ev.t - since).max(0.0);
+            live.insert(ev.node, (ev.b.clone(), ev.t));
+        }
+    }
+    if saw_any {
+        close(&mut cur, &mut live);
+        runs.push(cur);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn fsm(t: f64, node: i64, a: &'static str, b: &'static str) -> String {
+        TraceEvent {
+            t,
+            kind: "fsm",
+            node,
+            a,
+            b,
+            v: 0.0,
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let ev = TraceEvent {
+            t: 1.25,
+            kind: "ctl",
+            node: 7,
+            a: "grant",
+            b: "sent",
+            v: 3.0,
+        };
+        let parsed = parse_line(&ev.to_json()).expect("parses");
+        assert_eq!(parsed.t, 1.25);
+        assert_eq!(parsed.kind, "ctl");
+        assert_eq!(parsed.node, 7);
+        assert_eq!(parsed.a, "grant");
+        assert_eq!(parsed.b, "sent");
+        assert_eq!(parsed.v, 3.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let text = format!("{}\nnot json\n\n{}\n", fsm(0.0, 0, "Idle", "Joining"), "{}");
+        let (events, bad) = parse_jsonl(&text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(bad, 2);
+    }
+
+    #[test]
+    fn replay_accumulates_time_in_state() {
+        let doc = [
+            r#"{"t":0,"kind":"run","node":-1,"a":"begin","b":"","v":1}"#.to_string(),
+            fsm(0.0, 0, "Idle", "Joining"),
+            fsm(0.5, 0, "Joining", "Granted"),
+            fsm(2.0, 0, "Granted", "Outage"),
+            fsm(2.25, 0, "Outage", "Granted"),
+            r#"{"t":3,"kind":"run","node":-1,"a":"end","b":"","v":0}"#.to_string(),
+        ]
+        .join("\n");
+        let (events, bad) = parse_jsonl(&doc);
+        assert_eq!(bad, 0);
+        let runs = replay(&events);
+        assert_eq!(runs.len(), 1);
+        let node = &runs[0].nodes[&0];
+        assert_eq!(node.transitions, 4);
+        assert!((node.time_in_state["Joining"] - 0.5).abs() < 1e-12);
+        assert!((node.time_in_state["Granted"] - 2.25).abs() < 1e-12);
+        assert!((node.time_in_state["Outage"] - 0.25).abs() < 1e-12);
+        assert_eq!(node.final_state, "Granted");
+        assert_eq!(runs[0].end, 3.0);
+        assert!((runs[0].total_in_state("Granted") - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_markers_split_concatenated_traces() {
+        let doc = [
+            r#"{"t":0,"kind":"run","node":-1,"a":"begin","b":"","v":1}"#.to_string(),
+            fsm(0.0, 0, "Idle", "Joining"),
+            r#"{"t":1,"kind":"run","node":-1,"a":"end","b":"","v":0}"#.to_string(),
+            r#"{"t":0,"kind":"run","node":-1,"a":"begin","b":"","v":1}"#.to_string(),
+            fsm(0.0, 0, "Idle", "Joining"),
+            fsm(0.2, 0, "Joining", "Granted"),
+            r#"{"t":2,"kind":"run","node":-1,"a":"end","b":"","v":0}"#.to_string(),
+        ]
+        .join("\n");
+        let (events, _) = parse_jsonl(&doc);
+        let runs = replay(&events);
+        assert_eq!(runs.len(), 2);
+        assert!((runs[0].nodes[&0].time_in_state["Joining"] - 1.0).abs() < 1e-12);
+        assert!((runs[1].nodes[&0].time_in_state["Granted"] - 1.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! The structured trace: a bounded ring buffer of fixed-shape events
+//! serialized as JSONL.
+//!
+//! Events carry only `Copy` payloads (`f64` time, `&'static str` names,
+//! an `i64` node index), so recording one never allocates beyond the
+//! ring buffer's pre-grown storage, and two identically seeded runs
+//! produce byte-identical serializations — floats print via Rust's
+//! shortest-round-trip formatter, which is a pure function of the bit
+//! pattern.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One trace event.
+///
+/// The field meaning depends on `kind` (the conventions the mmX stack
+/// uses are documented on the wiring sites):
+///
+/// | kind | `a` | `b` | `v` |
+/// |---|---|---|---|
+/// | `fsm` | from-state | to-state | 0 |
+/// | `ctl` | message (`join`/`grant`/…) | fate (`sent`/`lost`/`dup`) | epoch or 0 |
+/// | `retry` | `join` | — | attempt |
+/// | `fault` | `crash`/`depart`/`ap_restart` | — | 0 |
+/// | `lease` | `expired` | — | 0 |
+/// | `recover` | `join`/`outage`/`rejoin` | — | duration (s) |
+/// | `span` | span name | `begin`/`end` | 0 |
+/// | `run` | `begin`/`end` | — | node count / 0 |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation-domain timestamp, seconds.
+    pub t: f64,
+    /// Event kind (static tag).
+    pub kind: &'static str,
+    /// Node index the event concerns (`-1` = network-wide).
+    pub node: i64,
+    /// First payload tag (see table).
+    pub a: &'static str,
+    /// Second payload tag (see table).
+    pub b: &'static str,
+    /// Numeric payload (epoch, attempt, duration, …).
+    pub v: f64,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+
+    /// Appends the JSON form to `out` (no trailing newline). Static
+    /// tags never need escaping by construction.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"t":{},"kind":"{}","node":{},"a":"{}","b":"{}","v":{}}}"#,
+            self.t, self.kind, self.node, self.a, self.b, self.v
+        );
+    }
+}
+
+/// A bounded ring of trace events: when full, the oldest event is
+/// dropped and counted, so a long run degrades to "most recent window"
+/// instead of unbounded memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuffer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events (0 = record nothing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            // Pre-grow so steady-state pushes never reallocate.
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted (or refused at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Serializes the buffer as JSONL (one event per line, trailing
+    /// newline after the last).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.ring.len() * 96);
+        for ev in &self.ring {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> TraceEvent {
+        TraceEvent {
+            t,
+            kind: "fsm",
+            node: 3,
+            a: "Idle",
+            b: "Joining",
+            v: 0.0,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_fixed() {
+        assert_eq!(
+            ev(0.25).to_json(),
+            r#"{"t":0.25,"kind":"fsm","node":3,"a":"Idle","b":"Joining","v":0}"#
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let mut b = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            b.push(ev(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dropped(), 2);
+        let ts: Vec<f64> = b.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut b = TraceBuffer::with_capacity(0);
+        b.push(ev(1.0));
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let mut b = TraceBuffer::with_capacity(8);
+        b.push(ev(1.0));
+        b.push(ev(2.0));
+        let text = b.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

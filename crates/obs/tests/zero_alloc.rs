@@ -1,0 +1,62 @@
+//! Verifies the disabled-mode guarantee: a disabled [`Recorder`] adds
+//! **zero allocations** on instrumented hot paths.
+//!
+//! A counting global allocator wraps the system one; the single test in
+//! this binary (kept alone so no sibling test allocates concurrently)
+//! snapshots the counter around a burst of recording calls.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mmx_obs::Recorder;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+#[test]
+fn disabled_recorder_allocates_nothing() {
+    let mut r = Recorder::disabled();
+    // Warm up anything lazy in the test harness itself.
+    r.inc("warm", "");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        let t = i as f64 * 1e-3;
+        r.inc("ctl_sent", "grant");
+        r.add("bytes", "", 1500);
+        r.set_gauge("nodes", "", 20.0);
+        r.gauge_add("time_in_state_s", "Granted", 1e-3);
+        r.observe("sinr_db", "", 17.5);
+        r.event(t, "fsm", 3, "Idle", "Joining", 0.0);
+        r.span_begin(t, "burst", -1);
+        r.span_end(t + 1e-4, "burst", -1);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder must not allocate on hot paths"
+    );
+    assert!(r.trace().is_empty());
+}

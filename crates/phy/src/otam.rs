@@ -319,6 +319,43 @@ impl OtamLink {
         })
     }
 
+    /// [`OtamLink::receive`] with observability: counts which
+    /// demodulation path decided the frame (`otam_rx{ask}` /
+    /// `otam_rx{fsk}` — the FSK count is the §6.3 fallback rate), sync
+    /// failures (`otam_no_sync`), and feeds three accumulators: the
+    /// preamble SNR estimate (`otam_snr_db`), the link's decision margin
+    /// — envelope level separation over the ASK-trust threshold
+    /// (`otam_margin_db`) — and the analytic joint BER of the channel
+    /// the frame crossed (`otam_ber`). A disabled recorder makes this
+    /// exactly `receive`.
+    pub fn receive_observed(
+        &self,
+        buf: &IqBuffer,
+        rec: &mut mmx_obs::Recorder,
+    ) -> Option<OtamRxResult> {
+        let rx = self.receive(buf);
+        if !rec.is_enabled() {
+            return rx;
+        }
+        match &rx {
+            Some(r) => {
+                let path = match r.used {
+                    DemodPath::Ask => "ask",
+                    DemodPath::Fsk => "fsk",
+                };
+                rec.inc("otam_rx", path);
+                if let Some(snr) = r.snr {
+                    rec.observe("otam_snr_db", "", snr.value());
+                }
+                let margin = self.channel.level_separation() - self.cfg.min_ask_separation;
+                rec.observe("otam_margin_db", "", margin.value());
+                rec.observe("otam_ber", "", self.theoretical_ber());
+            }
+            None => rec.inc("otam_no_sync", ""),
+        }
+        rx
+    }
+
     /// End-to-end packet transfer: serialize, push through the channel
     /// with noise, receive, parse. Returns the receive diagnostics and
     /// the parse outcome.
@@ -406,6 +443,44 @@ mod tests {
         let rx = rx.expect("sync");
         assert_eq!(parsed.expect("parse"), packet());
         assert_eq!(rx.used, DemodPath::Fsk);
+    }
+
+    #[test]
+    fn observed_receive_counts_paths_and_margins() {
+        let mut rec = mmx_obs::Recorder::enabled();
+        let ask_link = link(los_channel());
+        let fsk_link = link(equal_channel());
+        let bits = packet().to_bits();
+        let r = rng();
+        for l in [&ask_link, &fsk_link] {
+            let wave = l.waveform(&bits, &mut r.clone());
+            let plain = l.receive(&wave).expect("sync");
+            let observed = l.receive_observed(&wave, &mut rec).expect("sync");
+            assert_eq!(plain.bits, observed.bits, "observation changed decode");
+            assert_eq!(plain.used, observed.used);
+        }
+        let reg = rec.registry();
+        assert_eq!(reg.counter(mmx_obs::Key::labelled("otam_rx", "ask")), 1);
+        assert_eq!(reg.counter(mmx_obs::Key::labelled("otam_rx", "fsk")), 1);
+        assert_eq!(rec.histogram("otam_snr_db").unwrap().count(), 2);
+        let margins = rec.histogram("otam_margin_db").expect("recorded");
+        assert_eq!(margins.count(), 2);
+        // LoS separation clears the trust threshold; equal-loss doesn't.
+        assert!(margins.max() > 0.0);
+        assert!(margins.min() < 0.0);
+        assert_eq!(rec.histogram("otam_ber").unwrap().count(), 2);
+        // No-sync path: pure noise channel.
+        let dead = link(BeamChannel {
+            h0: Complex::ZERO,
+            h1: Complex::ZERO,
+        });
+        let wave = dead.waveform(&bits, &mut rng());
+        assert!(dead.receive_observed(&wave, &mut rec).is_none());
+        assert_eq!(reg_count(&rec, "otam_no_sync"), 1);
+    }
+
+    fn reg_count(rec: &mmx_obs::Recorder, name: &'static str) -> u64 {
+        rec.registry().counter(mmx_obs::Key::plain(name))
     }
 
     #[test]
