@@ -27,7 +27,7 @@ fn sim(n: usize) -> NetworkSim {
         let pos = ap_pos + Vec2::from_bearing(Degrees::new(180.0 + az)) * 3.5;
         let pos = Vec2::new(pos.x.clamp(0.3, 5.4), pos.y.clamp(0.3, 3.7));
         s.add_node(NodeStation::new(
-            i as u8,
+            i as u16,
             Pose::facing_toward(pos, ap_pos),
             BitRate::from_mbps(20.0),
         ));

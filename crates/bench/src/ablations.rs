@@ -229,7 +229,7 @@ pub fn power_control_ablation(seed: u64) -> TextTable {
         cfg.power_control = power_control;
         let mut sim = NetworkSim::new(room, ap, cfg);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
-        for i in 0..20u8 {
+        for i in 0..20u16 {
             let pos = loop {
                 use rand::Rng;
                 let p = Vec2::new(rng.gen_range(0.4..4.8), rng.gen_range(0.4..3.6));

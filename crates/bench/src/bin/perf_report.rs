@@ -272,7 +272,7 @@ fn network_sim_ms() -> f64 {
     cfg.walkers = 0;
     cfg.seed = 41;
     let mut sim = NetworkSim::new(room, ap, cfg);
-    for i in 0..10u8 {
+    for i in 0..10u16 {
         let pos = Vec2::new(0.6 + 0.4 * i as f64, 0.5 + 0.3 * i as f64);
         let facing = (ap_pos - pos).bearing();
         sim.add_node(NodeStation::new(
@@ -288,6 +288,75 @@ fn network_sim_ms() -> f64 {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The intra-sim phase-parallel event loop (DESIGN.md §9): one 200-node
+/// simulation timed at 1/2/4/8 gather threads, byte-identity checked
+/// across every count. Returns the pre-rendered `intra_par` JSON object
+/// and the measured 8-thread speedup.
+///
+/// The speedup is hardware-bound: on a runner with fewer than 8 cores
+/// the extra threads just time-slice, so the regression gate in `main`
+/// only arms itself when the host actually has 8 cores.
+fn intra_par_json() -> (String, f64) {
+    use mmx_bench::fig13_scale;
+
+    const NODES: usize = 200;
+    const COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let run = |threads: usize| {
+        let mut sim = fig13_scale::scale_topology(NODES, 17, threads);
+        sim.config_mut().record_trace = true;
+        sim.run().expect("intra_par sim runs")
+    };
+    // Warm caches (plan LUTs, allocator) so thread count 1 is not
+    // penalized for going first.
+    black_box(run(1));
+
+    let baseline = run(1);
+    let mut ms = Vec::with_capacity(COUNTS.len());
+    let mut identical = true;
+    for &threads in &COUNTS {
+        ms.push(time_ms(1, || {
+            black_box(run(threads).nodes.len());
+        }));
+        let report = run(threads);
+        identical &= report.nodes == baseline.nodes
+            && report.trace == baseline.trace
+            && report.recovery == baseline.recovery;
+    }
+    assert!(
+        identical,
+        "intra_par: reports/traces diverge across thread counts"
+    );
+    let speedup8 = ms[0] / ms[ms.len() - 1];
+
+    println!("\n  intra-sim parallel event loop ({NODES}-node sim, byte-identical output):");
+    for (&threads, &t) in COUNTS.iter().zip(&ms) {
+        println!(
+            "    {threads} thread(s): {:>9.2} ms   ({:.2}x vs serial)",
+            t,
+            ms[0] / t
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("  \"intra_par\": {\n");
+    let _ = writeln!(json, "    \"nodes\": {NODES},");
+    json.push_str("    \"runs\": [\n");
+    for (i, (&threads, &t)) in COUNTS.iter().zip(&ms).enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"threads\": {threads}, \"ms\": {:.3}, \"speedup\": {:.3}}}",
+            t,
+            ms[0] / t
+        );
+        json.push_str(if i + 1 == COUNTS.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"speedup_8_threads\": {speedup8:.3},");
+    let _ = writeln!(json, "    \"identical_across_thread_counts\": {identical}");
+    json.push_str("  },\n");
+    (json, speedup8)
 }
 
 /// The observability profile: runs the fig13 fault grid traced and
@@ -446,6 +515,7 @@ fn main() {
     );
 
     let profile = profile_json(workers);
+    let (intra_par, intra_speedup8) = intra_par_json();
 
     sections.push(par_section);
     let mut json = String::new();
@@ -462,6 +532,7 @@ fn main() {
         dft_ms / dft_reps as f64
     );
     json.push_str(&profile);
+    json.push_str(&intra_par);
     json.push_str("  \"sections\": [\n");
     for (i, s) in sections.iter().enumerate() {
         json.push_str("    {\n");
@@ -486,4 +557,24 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
     std::fs::write(path, &json).expect("write BENCH_report.json");
     println!("\nwrote {path}");
+
+    // Regression gate for the intra-sim engine: on a host with 8+ cores
+    // the 200-node sim must scale at least 1.5x at 8 gather threads.
+    // With fewer cores the extra threads only time-slice, so the number
+    // is reported but cannot gate.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 8 {
+        if intra_speedup8 < 1.5 {
+            eprintln!(
+                "FAIL: intra-sim 8-thread speedup {intra_speedup8:.2}x < 1.5x on a {cores}-core host"
+            );
+            std::process::exit(1);
+        }
+        println!("intra-sim 8-thread speedup {intra_speedup8:.2}x (gate: >= 1.5x, {cores} cores)");
+    } else {
+        println!(
+            "intra-sim 8-thread speedup {intra_speedup8:.2}x (gate skipped: only {cores} core(s) \
+             detected; threads time-slice)"
+        );
+    }
 }

@@ -56,6 +56,13 @@ fn main() {
         11,
         &fig13_multinode::table(&multi),
     );
+    let scale = fig13_scale::sweep(11);
+    output::emit_seeded(
+        "§7 scale-out — 50-500 sensors on one AP",
+        "fig13_scale",
+        11,
+        &fig13_scale::table(&scale),
+    );
     output::emit(
         "Table 1 — platform comparison",
         "table1_comparison",
@@ -133,5 +140,11 @@ fn main() {
     println!(
         "fig13: 20-node mean SINR {:.1} dB with real interference (paper 29 dB, idealized)",
         m20.mean_sinr_db
+    );
+    let s500 = scale.last().expect("non-empty");
+    println!(
+        "scale: 500-node mean SINR {:.1} dB, delivery {:.0}% (§7 scale-out, full interference)",
+        s500.mean_sinr_db,
+        100.0 * s500.delivery_rate
     );
 }

@@ -66,7 +66,7 @@ fn trial_sim(loss: f64, churn_hz: f64, seed: u64) -> NetworkSim {
         let bearing = Degrees::new(180.0 - 30.0 + 60.0 * frac);
         let pos = ap_pos + Vec2::from_bearing(bearing) * 3.0;
         sim.add_node(NodeStation::new(
-            i as u8,
+            i as u16,
             Pose::facing_toward(pos, ap_pos),
             BitRate::new(DEMAND_BPS),
         ));

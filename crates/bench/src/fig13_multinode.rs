@@ -64,7 +64,7 @@ pub(crate) fn random_topology(n: usize, seed: u64) -> NetworkSim {
         };
         let facing = (ap_pos - pos).bearing() + Degrees::new(rng.gen_range(-30.0..30.0));
         sim.add_node(NodeStation::new(
-            i as u8,
+            i as u16,
             Pose::new(pos, facing),
             BitRate::from_mbps(20.0),
         ));

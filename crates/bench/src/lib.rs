@@ -18,6 +18,7 @@
 //! | [`fig11_ber_cdf`] | Fig. 11 — BER CDF with/without OTAM |
 //! | [`fig12_range`] | Fig. 12 — SNR vs distance, two orientations |
 //! | [`fig13_multinode`] | Fig. 13 — SNR vs number of concurrent nodes |
+//! | [`fig13_scale`] | §7 scale-out: 50–500 sensors on one AP (intra-sim parallel) |
 //! | [`table1`] | Table 1 — platform comparison |
 //! | [`ablations`] | §6.2/§6.3 design-choice ablations + beam search |
 //! | [`ext_rate`] | extension: rate adaptation vs distance |
@@ -40,6 +41,7 @@ pub mod fig10_snr_map;
 pub mod fig11_ber_cdf;
 pub mod fig12_range;
 pub mod fig13_multinode;
+pub mod fig13_scale;
 pub mod obs_trace;
 pub mod output;
 pub mod par;

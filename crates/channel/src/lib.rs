@@ -38,6 +38,6 @@ pub mod room;
 pub mod trace;
 
 pub use geometry::Vec2;
-pub use response::{beam_channel, BeamChannel, Pose};
+pub use response::{beam_channel, beam_channel_into, BeamChannel, Pose};
 pub use room::Room;
 pub use trace::{PathKind, PropPath, Tracer};

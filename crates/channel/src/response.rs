@@ -105,20 +105,36 @@ pub fn beam_channel(
     ap_element: Element,
     blockers: &[HumanBlocker],
 ) -> BeamChannel {
-    let paths = tracer.trace(node.position, ap.position, blockers);
+    let mut paths = Vec::new();
+    beam_channel_into(tracer, node, ap, beams, ap_element, blockers, &mut paths)
+}
+
+/// [`beam_channel`] with a caller-owned path buffer.
+///
+/// `paths` is used as scratch for the ray trace (cleared and refilled,
+/// reusing its allocation) — the per-packet entry point of the
+/// simulator's hot loop, where one buffer per worker context replaces a
+/// `Vec` allocation per packet. Everything here is `&self`-re-entrant:
+/// concurrent calls on one `Tracer` with distinct buffers are safe.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_channel_into(
+    tracer: &Tracer<'_>,
+    node: Pose,
+    ap: Pose,
+    beams: &NodeBeams,
+    ap_element: Element,
+    blockers: &[HumanBlocker],
+    paths: &mut Vec<PropPath>,
+) -> BeamChannel {
+    tracer.trace_into(node.position, ap.position, blockers, paths);
     let mut h0 = Complex::ZERO;
     let mut h1 = Complex::ZERO;
-    for p in &paths {
-        let (c0, c1) = path_contributions(tracer, &p_clone(p), node, ap, beams, ap_element);
+    for p in paths.iter() {
+        let (c0, c1) = path_contributions(tracer, p, node, ap, beams, ap_element);
         h0 += c0;
         h1 += c1;
     }
     BeamChannel { h0, h1 }
-}
-
-// PropPath is Copy; this helper keeps the call site readable.
-fn p_clone(p: &PropPath) -> PropPath {
-    *p
 }
 
 fn path_contributions(
@@ -279,6 +295,28 @@ mod tests {
         };
         assert!(!ch.level_separation().is_finite());
         assert!(ch.level_separation().value() > 0.0);
+    }
+
+    #[test]
+    fn beam_channel_into_matches_beam_channel() {
+        let (room, beams) = setup();
+        let node = Pose::facing_toward(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0));
+        let ap = Pose::facing_toward(Vec2::new(5.0, 2.0), Vec2::new(1.0, 2.0));
+        let tracer = Tracer::new(&room, Hertz::from_ghz(24.0), 2.0);
+        let plain = beam_channel(&tracer, node, ap, &beams, Element::ApDipole, &[]);
+        let mut scratch = Vec::new();
+        for _ in 0..3 {
+            let scratched = beam_channel_into(
+                &tracer,
+                node,
+                ap,
+                &beams,
+                Element::ApDipole,
+                &[],
+                &mut scratch,
+            );
+            assert_eq!(plain, scratched);
+        }
     }
 
     #[test]

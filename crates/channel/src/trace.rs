@@ -151,8 +151,26 @@ impl<'a> Tracer<'a> {
     /// returned (with their losses); the receiver model decides what is
     /// detectable.
     pub fn trace(&self, node: Vec2, ap: Vec2, blockers: &[HumanBlocker]) -> Vec<PropPath> {
-        assert!(node.distance(ap) > 1e-9, "node and AP are co-located");
         let mut paths = Vec::with_capacity(1 + self.room.surfaces().len());
+        self.trace_into(node, ap, blockers, &mut paths);
+        paths
+    }
+
+    /// [`trace`](Self::trace) into a caller-owned buffer: `paths` is
+    /// cleared and refilled, reusing its allocation. This is the
+    /// re-entrant entry point the simulator's per-node worker contexts
+    /// use — `&self` plus caller-owned scratch, no internal state — so
+    /// any number of threads can trace through one `Tracer`
+    /// concurrently.
+    pub fn trace_into(
+        &self,
+        node: Vec2,
+        ap: Vec2,
+        blockers: &[HumanBlocker],
+        paths: &mut Vec<PropPath>,
+    ) {
+        assert!(node.distance(ap) > 1e-9, "node and AP are co-located");
+        paths.clear();
 
         // Direct path.
         let leg_loss = self.leg_obstruction(node, ap, blockers);
@@ -262,7 +280,6 @@ impl<'a> Tracer<'a> {
             reflection_loss: h.ceiling_loss,
             obstruction_loss: static_only,
         });
-        paths
     }
 
     /// Large-scale loss of a path (spreading + reflection + obstruction).
@@ -532,6 +549,21 @@ mod tests {
         // Image of node across y=0 is (1,−2); across y=4 is (1,10).
         let double_image = Vec2::new(1.0, 10.0);
         close(p.length_m, double_image.distance(ap), 1e-9);
+    }
+
+    #[test]
+    fn trace_into_reuses_the_buffer_and_matches_trace() {
+        let r = room();
+        let t = Tracer::new(&r, Hertz::from_ghz(24.0), 2.0);
+        let mut buf = Vec::new();
+        t.trace_into(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0), &[], &mut buf);
+        assert_eq!(buf, t.trace(Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0), &[]));
+        let cap = buf.capacity();
+        // A second, shorter trace must clear the old contents and reuse
+        // the allocation.
+        t.trace_into(Vec2::new(2.0, 2.0), Vec2::new(3.0, 2.0), &[], &mut buf);
+        assert_eq!(buf, t.trace(Vec2::new(2.0, 2.0), Vec2::new(3.0, 2.0), &[]));
+        assert!(buf.capacity() >= cap);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::MmxConfig;
 use mmx_channel::response::Pose;
+use mmx_net::control::NodeId;
 use mmx_net::node::NodeStation;
 use mmx_phy::packet::Packet;
 use mmx_units::{BitRate, Hertz, Watts};
@@ -16,7 +17,7 @@ pub struct MmxNode {
 
 impl MmxNode {
     /// Creates a node at a pose with a demand.
-    pub fn new(id: u8, pose: Pose, demand: BitRate) -> Self {
+    pub fn new(id: NodeId, pose: Pose, demand: BitRate) -> Self {
         MmxNode {
             station: NodeStation::new(id, pose, demand),
             seq: 0,
@@ -24,7 +25,7 @@ impl MmxNode {
     }
 
     /// An HD camera node (10 Mbps, 1400-byte frames).
-    pub fn hd_camera(id: u8, pose: Pose) -> Self {
+    pub fn hd_camera(id: NodeId, pose: Pose) -> Self {
         MmxNode {
             station: NodeStation::hd_camera(id, pose),
             seq: 0,
@@ -32,7 +33,7 @@ impl MmxNode {
     }
 
     /// Node id.
-    pub fn id(&self) -> u8 {
+    pub fn id(&self) -> NodeId {
         self.station.id
     }
 
@@ -69,7 +70,10 @@ impl MmxNode {
     /// Builds the next data packet from an application payload,
     /// advancing the sequence number.
     pub fn next_packet(&mut self, payload: &[u8]) -> Packet {
-        let p = Packet::new(self.id(), self.seq, payload.to_vec());
+        // The one-byte air header carries the low id byte; ids within one
+        // AP's 256-id window stay unambiguous on air, and the control
+        // plane always uses the full NodeId.
+        let p = Packet::new((self.id() & 0xFF) as u8, self.seq, payload.to_vec());
         self.seq = self.seq.wrapping_add(1);
         p
     }

@@ -33,7 +33,7 @@ pub fn smart_home(cameras: usize) -> MmxNetworkBuilder {
         } else {
             Vec2::new(0.5 + 4.0 * ((frac - 0.67) / 0.33), 3.6)
         };
-        b = b.node(MmxNode::hd_camera(i as u8, Pose::facing_toward(pos, hub)));
+        b = b.node(MmxNode::hd_camera(i as u16, Pose::facing_toward(pos, hub)));
     }
     b
 }
@@ -55,7 +55,7 @@ pub fn surveillance(cameras: usize) -> MmxNetworkBuilder {
         let frac = (i as f64 + 0.5) / cameras as f64;
         let pos = Vec2::new(0.5 + 15.0 * frac, if i % 2 == 0 { 0.5 } else { 11.5 });
         b = b.node(MmxNode::new(
-            i as u8,
+            i as u16,
             Pose::facing_toward(pos, ap_pos),
             BitRate::from_mbps(25.0),
         ));
@@ -87,7 +87,7 @@ pub fn vehicle() -> MmxNetworkBuilder {
     let mut b = MmxNetworkBuilder::new(room, ap).walkers(0);
     for (i, &(x, y)) in positions.iter().enumerate() {
         b = b.node(MmxNode::new(
-            i as u8,
+            i as u16,
             Pose::facing_toward(Vec2::new(x, y), ap_pos),
             BitRate::from_mbps(20.0),
         ));

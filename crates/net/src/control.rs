@@ -26,7 +26,12 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A node's identifier on the control plane.
-pub type NodeId = u8;
+///
+/// `u16` so one AP's admission bookkeeping scales past 256 nodes (the
+/// fig13_scale sweep runs 500+ under a single AP). The over-the-air
+/// OTAM header (`mmx_phy::packet`) still carries one id byte; the
+/// control plane rides BLE/WiFi and is not bound by that header.
+pub type NodeId = u16;
 
 /// Control-plane messages (carried over BLE/WiFi, not over mmWave).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

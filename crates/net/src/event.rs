@@ -1,8 +1,27 @@
 //! A deterministic discrete-event engine.
 //!
 //! The simulator schedules packet transmissions, mobility steps and
-//! blockage transitions as timestamped events. Ties are broken by
-//! insertion order, so runs are bit-for-bit reproducible.
+//! blockage transitions as timestamped events.
+//!
+//! # Total order
+//!
+//! The queue defines a *total* order over events, which is the spec the
+//! phase-parallel drain in `sim` batches against:
+//!
+//! 1. earlier `time` first (times are finite by construction, so the
+//!    comparison is total), and
+//! 2. among events sharing a timestamp, **insertion order** (FIFO):
+//!    every `schedule_*` call stamps a monotonically increasing sequence
+//!    number, and ties break by the lower sequence number.
+//!
+//! Consequently `pop` is deterministic: two queues fed the same sequence
+//! of `schedule_*` calls pop the same `(time, event)` sequence,
+//! bit-for-bit, and any batching scheme that (a) drains a prefix of that
+//! order and (b) performs the *scheduling* side effects of the drained
+//! events in the same drained order assigns exactly the sequence numbers
+//! the un-batched loop would have — so the batched and serial engines
+//! stay byte-identical. [`peek`](EventQueue::peek) exposes the head
+//! without popping so a drain can decide where a batch ends.
 //!
 //! Scheduling is fallible: an event in the past or at a non-finite time
 //! is a caller bug the queue reports as a [`ScheduleError`] instead of
@@ -156,6 +175,12 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<Seconds> {
         self.heap.peek().map(|e| e.time)
     }
+
+    /// The next event in the total order — `(time, seq-FIFO)`, see the
+    /// module docs — without popping it or advancing the clock.
+    pub fn peek(&self) -> Option<(Seconds, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +287,37 @@ mod tests {
         };
         assert!(past.to_string().contains("past"));
         assert!(ScheduleError::NonFinite.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn peek_agrees_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(2.0), "b").unwrap();
+        q.schedule_at(Seconds::new(1.0), "a").unwrap();
+        while let Some((pt, &pe)) = q.peek() {
+            let before = q.now();
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((pt, pe), (t, e));
+            assert!(before <= t, "peek must not advance the clock");
+        }
+        assert!(q.peek().is_none());
+    }
+
+    #[test]
+    fn total_order_is_time_then_fifo() {
+        // The spec the batched drain relies on: same-timestamp events pop
+        // in insertion order even when their scheduling interleaves with
+        // other timestamps and with pops.
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(2.0), "t2-first").unwrap();
+        q.schedule_at(Seconds::new(1.0), "t1").unwrap();
+        q.schedule_at(Seconds::new(2.0), "t2-second").unwrap();
+        assert_eq!(q.pop().unwrap().1, "t1");
+        // A tie scheduled *after* pops still lands behind earlier ties:
+        // sequence numbers are global, not per-timestamp.
+        q.schedule_at(Seconds::new(2.0), "t2-third").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["t2-first", "t2-second", "t2-third"]);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`link`] — the node-side control-link state machine
 //!   (Idle → Joining → Granted → Outage → Rejoining) and retransmit
 //!   backoff.
+//! * [`pool`] / [`streams`] — the intra-sim worker pool and per-node
+//!   RNG streams behind the gather→commit phase-parallel event loop
+//!   (DESIGN.md §9).
 
 pub mod ap;
 pub mod arq;
@@ -39,8 +42,10 @@ pub mod fdm;
 pub mod interference;
 pub mod link;
 pub mod node;
+pub mod pool;
 pub mod sdm;
 pub mod sim;
+pub mod streams;
 
 pub use event::{EventQueue, ScheduleError};
 pub use faults::{FaultConfig, FaultInjector};

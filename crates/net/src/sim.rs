@@ -16,17 +16,25 @@ use crate::fdm::{AllocError, BandPlan};
 use crate::interference::adjacent_channel_leakage;
 use crate::link::{Backoff, LinkAction, LinkState, NodeLink};
 use crate::node::NodeStation;
+use crate::pool;
 use crate::sdm::{SdmError, SdmScheduler, SdmSlot};
+use crate::streams;
 use mmx_channel::blockage::HumanBlocker;
 use mmx_channel::fading::{FadingProcess, Rician};
 use mmx_channel::mobility::{LinearWalker, RandomWaypoint};
-use mmx_channel::response::{beam_channel, BeamChannel};
+use mmx_channel::response::{beam_channel_into, BeamChannel};
 use mmx_channel::room::Room;
-use mmx_channel::trace::Tracer;
-use mmx_obs::Recorder;
+use mmx_channel::trace::{PropPath, Tracer};
+use mmx_obs::{ObsStage, Recorder};
 use mmx_phy::ber::{fsk_ber, joint_ber};
 use mmx_units::{thermal_noise_dbm, Band, BitRate, Db, DbmPower, Degrees, Hertz, Seconds};
+use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Upper bound on one gather batch (bounds per-batch task memory; far
+/// above any realistic same-window packet census).
+const MAX_BATCH: usize = 4096;
 
 /// Static tag for a link state, used in `fsm` trace events and
 /// `fsm_time_in_state_s` gauge labels.
@@ -123,6 +131,22 @@ impl PacketMetrics {
         }
     }
 
+    /// Absorbs a gather task's staged observations into the stack-local
+    /// histograms, in staging order. Routing matches on the static name
+    /// tags the gather phase stages, so the commit path stays free of
+    /// keyed map lookups; trace events (none staged today) would merge
+    /// straight into the recorder.
+    fn absorb(&mut self, stage: &mut mmx_obs::ObsStage) {
+        for (name, _label, v) in stage.drain_observations() {
+            match name {
+                "sinr_db" => self.sinr_db.record(v),
+                "decision_margin_db" => self.margin_db.record(v),
+                "ber" => self.ber.record(v),
+                other => debug_assert!(false, "unrouted staged observation {other}"),
+            }
+        }
+    }
+
     fn flush(&self, rec: &mut Recorder) {
         if !self.on {
             return;
@@ -199,6 +223,13 @@ pub struct SimConfig {
     /// Decision-SNR threshold below which a packet counts as
     /// undecodable for outage detection.
     pub decode_threshold: Db,
+    /// Worker threads for the intra-sim gather phase (DESIGN.md §9).
+    /// `1` = run the event loop single-threaded (the default; batches of
+    /// independent sims should parallelise across sims instead, see
+    /// [`run_batch`]). `0` = auto: `MMX_THREADS` or the machine's
+    /// available parallelism. Any value produces byte-identical reports,
+    /// traces and CSVs — thread count only changes wall-clock time.
+    pub threads: usize,
 }
 
 /// Small-scale fading parameters for the simulator.
@@ -243,6 +274,7 @@ impl SimConfig {
             lease: LeaseConfig::standard(),
             outage_window: 8,
             decode_threshold: Db::new(5.0),
+            threads: 1,
         }
     }
 }
@@ -266,7 +298,7 @@ pub enum SimError {
 #[derive(Debug, Clone)]
 pub struct NodeReport {
     /// Node id.
-    pub id: u8,
+    pub id: NodeId,
     /// Packets transmitted.
     pub sent: u64,
     /// Packets delivered (CRC-clean).
@@ -534,6 +566,77 @@ pub struct NetworkSim {
     cfg: SimConfig,
 }
 
+/// Per-node worker context for the gather phase: the node's private RNG
+/// stream ([`streams::node_stream`]), its time-correlated fading state,
+/// and reusable ray-trace scratch. Exactly one in-flight gather task
+/// owns a node's context at a time (a node appears at most once per
+/// batch), so no locking is needed — the context travels with the task
+/// and comes back with the result.
+struct NodeCtx {
+    rng: StdRng,
+    fader: Option<FadingProcess>,
+    paths: Vec<PropPath>,
+}
+
+/// State shared by every task of one gather batch, frozen at batch
+/// start: the blocker constellation (rebuilt on mobility `Step`s, which
+/// end batches), the arrival-power snapshot interference is computed
+/// against, and any blockage-burst penalty in force.
+struct BatchShared {
+    blockers: Arc<Vec<HumanBlocker>>,
+    rx: Vec<DbmPower>,
+    extra_loss: Db,
+    /// Observability enabled: gather tasks stage per-packet samples
+    /// into their [`ObsStage`] for the commit phase to absorb.
+    obs_on: bool,
+    /// Also stage the decision-margin sample (the faulted engine's
+    /// richer per-packet metric set).
+    obs_margin: bool,
+}
+
+/// One node's unit of independent gather work.
+struct PacketTask {
+    i: usize,
+    /// Demodulate FSK-only (the node is riding out an outage, §6.2).
+    fsk: bool,
+    ctx: NodeCtx,
+    shared: Arc<BatchShared>,
+}
+
+/// The pure result of one gather task — everything the commit phase
+/// needs, and nothing it has to recompute.
+struct PacketGather {
+    i: usize,
+    fsk: bool,
+    ctx: NodeCtx,
+    pwr: DbmPower,
+    sep: Db,
+    sinr: Db,
+    decision_snr: Db,
+    per: f64,
+    /// The node-stream uniform draw deciding packet delivery.
+    draw: f64,
+    /// Observability records produced on the worker, merged (absorbed)
+    /// by the commit phase in canonical order.
+    stage: ObsStage,
+}
+
+/// How the drain classified one batched packet event. Classification
+/// inputs (activity window, liveness, link FSM state) are only mutated
+/// by non-`Packet` events — which end batches — or by a node's own
+/// commit — and a node appears at most once per batch — so classifying
+/// at drain time is exactly equivalent to classifying at commit time.
+#[derive(Clone, Copy, PartialEq)]
+enum Planned {
+    /// Transmit: gets a gather task.
+    Tx,
+    /// The node left the network (activity window closed).
+    Inactive,
+    /// Radio down or lease lost: the application clock ticks, the
+    /// packet is lost to churn (faulted engine only).
+    Churn,
+}
+
 impl NetworkSim {
     /// Creates a simulator.
     pub fn new(room: Room, ap: ApStation, cfg: SimConfig) -> Self {
@@ -622,19 +725,34 @@ impl NetworkSim {
     /// Receive power of node `i` at the AP antenna under the current
     /// blockers.
     fn rx_power(&self, i: usize, blockers: &[HumanBlocker]) -> (DbmPower, BeamChannel) {
+        let mut paths = Vec::new();
+        self.rx_power_into(i, blockers, &mut paths)
+    }
+
+    /// [`rx_power`](Self::rx_power) with caller-owned ray-trace scratch
+    /// — the `&self`-re-entrant hot-loop entry point: any number of
+    /// gather workers may call it concurrently, each with its own
+    /// context's buffer.
+    fn rx_power_into(
+        &self,
+        i: usize,
+        blockers: &[HumanBlocker],
+        paths: &mut Vec<PropPath>,
+    ) -> (DbmPower, BeamChannel) {
         let tracer = Tracer::new(
             &self.room,
             self.nodes[i].front_end().channel(),
             self.cfg.path_loss_exponent,
         )
         .with_second_order(self.cfg.second_order_reflections);
-        let ch = beam_channel(
+        let ch = beam_channel_into(
             &tracer,
             self.nodes[i].pose,
             self.ap.pose,
             self.nodes[i].beams(),
             self.ap.element(),
             blockers,
+            paths,
         );
         let mark = ch.gain(ch.stronger_beam());
         let p = self.nodes[i].front_end().antenna_power() - self.cfg.implementation_loss + mark;
@@ -677,19 +795,131 @@ impl NetworkSim {
         spatial: Option<&Vec<Vec<Db>>>,
         bandwidth: Hertz,
     ) -> Db {
+        self.sinr_from(i, slots, |j| rx[j], spatial, bandwidth)
+    }
+
+    /// [`sinr`](Self::sinr) over an arbitrary arrival-power accessor,
+    /// summing noise + interference terms straight through
+    /// `power_sum`'s linear accumulator — no per-packet `Vec`. The
+    /// gather phase substitutes the transmitting node's freshly traced
+    /// power into the frozen batch snapshot this way.
+    fn sinr_from<F: Fn(usize) -> DbmPower>(
+        &self,
+        i: usize,
+        slots: &[SdmSlot],
+        rx_of: F,
+        spatial: Option<&Vec<Vec<Db>>>,
+        bandwidth: Hertz,
+    ) -> Db {
         let noise = thermal_noise_dbm(bandwidth, self.ap.noise_figure());
         let my_gain = spatial.map(|s| s[i][i]).unwrap_or(Db::ZERO);
-        let wanted = rx[i] + my_gain;
-        let mut terms = vec![noise];
-        for j in 0..self.nodes.len() {
-            if j == i {
-                continue;
-            }
+        let wanted = rx_of(i) + my_gain;
+        let interference = (0..self.nodes.len()).filter(|&j| j != i).map(|j| {
             let gain = spatial.map(|s| s[i][j]).unwrap_or(Db::ZERO);
             let acl = adjacent_channel_leakage(slots[i].channel.abs_diff(slots[j].channel));
-            terms.push(rx[j] + gain + acl);
+            rx_of(j) + gain + acl
+        });
+        wanted - DbmPower::power_sum(std::iter::once(noise).chain(interference))
+    }
+
+    /// Builds every node's gather context: private RNG stream and (when
+    /// fading is on) its fading process seeded from that stream — so
+    /// context construction is order-independent across nodes.
+    fn node_ctxs(&self) -> Vec<Option<NodeCtx>> {
+        (0..self.nodes.len())
+            .map(|i| {
+                let mut rng = streams::node_stream(self.cfg.seed, i);
+                let fader = self
+                    .cfg
+                    .fading
+                    .map(|f| FadingProcess::new(Rician::new(Db::new(f.k_db)), f.rho, &mut rng));
+                Some(NodeCtx {
+                    rng,
+                    fader,
+                    paths: Vec::new(),
+                })
+            })
+            .collect()
+    }
+
+    /// The gather phase for one packet: ray trace, fading step, SINR
+    /// against the batch snapshot, BER → PER, and the delivery draw.
+    /// Pure per-node work — reads only frozen per-run plan data and the
+    /// batch's [`BatchShared`]; mutates only the node's own context —
+    /// so any number of these run concurrently and the result is a
+    /// function of the task alone, independent of thread count.
+    fn gather_packet(
+        &self,
+        mut task: PacketTask,
+        slots: &[SdmSlot],
+        rates: &[BitRate],
+        spatial: Option<&Vec<Vec<Db>>>,
+        bandwidth: Hertz,
+        backoff: &[Db],
+    ) -> PacketGather {
+        let i = task.i;
+        let (p, ch) = self.rx_power_into(i, &task.shared.blockers, &mut task.ctx.paths);
+        let (p, ch) = match task.ctx.fader.as_mut() {
+            Some(f) => {
+                let faded = f.step(&ch, &mut task.ctx.rng);
+                let mark = faded.gain(faded.stronger_beam());
+                (
+                    self.nodes[i].front_end().antenna_power() - self.cfg.implementation_loss + mark,
+                    faded,
+                )
+            }
+            None => (p, ch),
+        };
+        let pwr = p - backoff[i] - task.shared.extra_loss;
+        let sep = ch.level_separation();
+        let sh = &task.shared;
+        let sinr = self.sinr_from(
+            i,
+            slots,
+            |j| if j == i { pwr } else { sh.rx[j] },
+            spatial,
+            bandwidth,
+        );
+        // Decision SNR: the channel-band SINR plus the processing gain
+        // of running the symbols slower than the channel width (zero for
+        // a demand-matched channel; positive under rate adaptation).
+        let proc_gain =
+            Db::new(10.0 * (bandwidth.hz() / (1.25 * rates[i].bps())).log10()).max(Db::ZERO);
+        let decision_snr = sinr + proc_gain;
+        // §6.2: in an outage the node drops the ASK bits and keeps only
+        // the (more robust) FSK stream.
+        let ber = if task.fsk {
+            fsk_ber(decision_snr)
+        } else {
+            joint_ber(decision_snr, sep, Db::new(2.0))
+        };
+        let air_bits = self.nodes[i].packet_air_bits();
+        let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
+        let draw = task.ctx.rng.gen::<f64>();
+        let mut stage = ObsStage::new();
+        if task.shared.obs_on {
+            stage.observe("sinr_db", "", sinr.value());
+            if task.shared.obs_margin {
+                stage.observe(
+                    "decision_margin_db",
+                    "",
+                    (decision_snr - self.cfg.decode_threshold).value(),
+                );
+            }
+            stage.observe("ber", "", ber);
         }
-        wanted - DbmPower::power_sum(terms)
+        PacketGather {
+            i,
+            fsk: task.fsk,
+            ctx: task.ctx,
+            pwr,
+            sep,
+            sinr,
+            decision_snr,
+            per,
+            draw,
+            stage,
+        }
     }
 
     /// Runs the simulation.
@@ -767,11 +997,11 @@ impl NetworkSim {
         };
 
         // Initial channel state.
-        let current = blockers(&walkers, &pacer);
+        let mut cur_blockers = Arc::new(blockers(&walkers, &pacer));
         let mut rx: Vec<DbmPower> = Vec::with_capacity(self.nodes.len());
         let mut seps: Vec<Db> = Vec::with_capacity(self.nodes.len());
         for i in 0..self.nodes.len() {
-            let (p, ch) = self.rx_power(i, &current);
+            let (p, ch) = self.rx_power(i, &cur_blockers);
             rx.push(p);
             seps.push(ch.level_separation());
         }
@@ -819,13 +1049,7 @@ impl NetworkSim {
             m.record_fixed(2.0 * crate::control::CONTROL_MSG_ENERGY_J);
         }
         let mut trace: Vec<PacketSample> = Vec::new();
-        let mut faders: Vec<Option<FadingProcess>> = (0..self.nodes.len())
-            .map(|_| {
-                self.cfg
-                    .fading
-                    .map(|f| FadingProcess::new(Rician::new(Db::new(f.k_db)), f.rho, &mut rng))
-            })
-            .collect();
+        let mut ctxs = self.node_ctxs();
 
         let mut q = EventQueue::new();
         q.schedule_at(Seconds::ZERO + self.cfg.step, Event::Step)
@@ -838,85 +1062,136 @@ impl NetworkSim {
                 .expect("first packet is ahead of t = 0");
         }
 
-        while let Some((t, ev)) = q.pop() {
-            if t > self.cfg.duration {
-                break;
-            }
-            match ev {
-                Event::Step => {
-                    for w in walkers.iter_mut() {
-                        w.step(&self.room, self.cfg.step.value(), &mut rng);
+        // The gather→commit event loop (DESIGN.md §9). The worker pool
+        // lives for the whole run; the `work` closure borrows only the
+        // frozen per-run plan, so the body keeps exclusive ownership of
+        // every piece of mutable state for the commit phase.
+        let threads = pool::resolve_threads(self.cfg.threads);
+        let spatial_ref = spatial.as_ref();
+        pool::scoped(
+            threads,
+            |task: PacketTask| {
+                self.gather_packet(task, &slots, &rates, spatial_ref, bandwidth, &backoff)
+            },
+            |disp| {
+                let mut batch: Vec<(Seconds, usize, Planned)> = Vec::new();
+                let mut results: Vec<Option<PacketGather>> = Vec::new();
+                while let Some((t, ev)) = q.pop() {
+                    if t > self.cfg.duration {
+                        break;
                     }
-                    if let Some(p) = pacer.as_mut() {
-                        p.step(self.cfg.step.value());
-                    }
-                    q.schedule_in(self.cfg.step, Event::Step)
-                        .expect("step period is positive");
-                }
-                Event::Packet(i) => {
-                    if !self.nodes[i].is_active(t) {
-                        // The node has left; silence its interference.
-                        rx[i] = DbmPower::ZERO_POWER;
-                        continue;
-                    }
-                    let current = blockers(&walkers, &pacer);
-                    let (p, ch) = self.rx_power(i, &current);
-                    let (p, ch) = match faders[i].as_mut() {
-                        Some(f) => {
-                            let faded = f.step(&ch, &mut rng);
-                            let mark = faded.gain(faded.stronger_beam());
-                            (
-                                self.nodes[i].front_end().antenna_power()
-                                    - self.cfg.implementation_loss
-                                    + mark,
-                                faded,
-                            )
+                    match ev {
+                        Event::Step => {
+                            for w in walkers.iter_mut() {
+                                w.step(&self.room, self.cfg.step.value(), &mut rng);
+                            }
+                            if let Some(p) = pacer.as_mut() {
+                                p.step(self.cfg.step.value());
+                            }
+                            cur_blockers = Arc::new(blockers(&walkers, &pacer));
+                            q.schedule_in(self.cfg.step, Event::Step)
+                                .expect("step period is positive");
                         }
-                        None => (p, ch),
-                    };
-                    rx[i] = p - backoff[i];
-                    seps[i] = ch.level_separation();
-                    let sinr = self.sinr(i, &slots, &rx, spatial.as_ref(), bandwidth);
-                    sinr_sum[i] += sinr.value();
-                    sinr_min[i] = sinr_min[i].min(sinr.value());
-                    sent[i] += 1;
-
-                    let air_bits = self.nodes[i].packet_air_bits();
-                    // Decision SNR: the channel-band SINR plus the
-                    // processing gain of running the symbols slower than
-                    // the channel width (zero for a demand-matched
-                    // channel; positive under rate adaptation).
-                    let proc_gain =
-                        Db::new(10.0 * (bandwidth.hz() / (1.25 * rates[i].bps())).log10())
-                            .max(Db::ZERO);
-                    let ber = joint_ber(sinr + proc_gain, seps[i], Db::new(2.0));
-                    pm.sent += 1;
-                    if pm.on {
-                        pm.sinr_db.record(sinr.value());
-                        pm.ber.record(ber);
+                        Event::Packet(first) => {
+                            // -- drain: a lookahead window of packets --
+                            // Keep draining while the next event is a
+                            // packet strictly inside the batch horizon —
+                            // the earliest time any drained packet's
+                            // reschedule could land — so the drained
+                            // prefix matches the serial pop order
+                            // exactly (see `event` module docs).
+                            batch.clear();
+                            let classify = |tb: Seconds, i: usize| {
+                                if self.nodes[i].is_active(tb) {
+                                    Planned::Tx
+                                } else {
+                                    Planned::Inactive
+                                }
+                            };
+                            batch.push((t, first, classify(t, first)));
+                            let mut horizon = t + self.nodes[first].packet_interval();
+                            while batch.len() < MAX_BATCH {
+                                match q.peek() {
+                                    Some((tn, &Event::Packet(_)))
+                                        if tn < horizon && tn <= self.cfg.duration =>
+                                    {
+                                        let Some((tn, Event::Packet(j))) = q.pop() else {
+                                            unreachable!("peeked a packet");
+                                        };
+                                        horizon = horizon.min(tn + self.nodes[j].packet_interval());
+                                        batch.push((tn, j, classify(tn, j)));
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            // -- gather: per-node work, in parallel --
+                            let shared = Arc::new(BatchShared {
+                                blockers: Arc::clone(&cur_blockers),
+                                rx: rx.clone(),
+                                extra_loss: Db::ZERO,
+                                obs_on: pm.on,
+                                obs_margin: false,
+                            });
+                            let tasks: Vec<PacketTask> = batch
+                                .iter()
+                                .filter(|&&(_, _, plan)| plan == Planned::Tx)
+                                .map(|&(_, i, _)| PacketTask {
+                                    i,
+                                    fsk: false,
+                                    ctx: ctxs[i].take().expect("one packet per node per batch"),
+                                    shared: Arc::clone(&shared),
+                                })
+                                .collect();
+                            disp.run(tasks, &mut results);
+                            // -- commit: apply in the drained (serial
+                            // event) order --
+                            let mut slot = 0;
+                            for &(tb, i, plan) in &batch {
+                                if plan == Planned::Inactive {
+                                    // The node has left; silence its
+                                    // interference.
+                                    rx[i] = DbmPower::ZERO_POWER;
+                                    continue;
+                                }
+                                let mut g = results[slot].take().expect("gather result");
+                                slot += 1;
+                                debug_assert_eq!(g.i, i);
+                                rx[i] = g.pwr;
+                                seps[i] = g.sep;
+                                sinr_sum[i] += g.sinr.value();
+                                sinr_min[i] = sinr_min[i].min(g.sinr.value());
+                                sent[i] += 1;
+                                pm.sent += 1;
+                                pm.absorb(&mut g.stage);
+                                let airtime = self.nodes[i].packet_airtime(rates[i]);
+                                meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
+                                let ok = g.draw >= g.per;
+                                if ok {
+                                    delivered[i] += 1;
+                                    pm.delivered += 1;
+                                    meters[i]
+                                        .record_delivered(self.nodes[i].payload_bytes as u64 * 8);
+                                }
+                                if self.cfg.record_trace {
+                                    trace.push(PacketSample {
+                                        t: tb,
+                                        node: i,
+                                        sinr_db: g.sinr.value(),
+                                        delivered: ok,
+                                    });
+                                }
+                                ctxs[i] = Some(g.ctx);
+                                q.schedule_at(
+                                    tb + self.nodes[i].packet_interval(),
+                                    Event::Packet(i),
+                                )
+                                .expect("reschedule lands inside the batch horizon");
+                            }
+                        }
                     }
-                    let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
-                    let airtime = self.nodes[i].packet_airtime(rates[i]);
-                    meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
-                    let ok = rng.gen::<f64>() >= per;
-                    if ok {
-                        delivered[i] += 1;
-                        pm.delivered += 1;
-                        meters[i].record_delivered(self.nodes[i].payload_bytes as u64 * 8);
-                    }
-                    if self.cfg.record_trace {
-                        trace.push(PacketSample {
-                            t,
-                            node: i,
-                            sinr_db: sinr.value(),
-                            delivered: ok,
-                        });
-                    }
-                    q.schedule_in(self.nodes[i].packet_interval(), Event::Packet(i))
-                        .expect("packet interval is positive");
                 }
-            }
-        }
+            },
+        );
 
         pm.flush(rec);
         rec.event(self.cfg.duration.value(), "run", -1, "end", "", 0.0);
@@ -1029,11 +1304,11 @@ impl NetworkSim {
         // Initialization-phase measurement: per-node arrival power for
         // power control and rate adaptation, exactly as the fault-free
         // engine derives them.
-        let current = blockers(&walkers, &pacer);
+        let mut cur_blockers = Arc::new(blockers(&walkers, &pacer));
         let mut meas: Vec<DbmPower> = Vec::with_capacity(n);
         let mut seps: Vec<Db> = Vec::with_capacity(n);
         for i in 0..n {
-            let (p, ch) = self.rx_power(i, &current);
+            let (p, ch) = self.rx_power(i, &cur_blockers);
             meas.push(p);
             seps.push(ch.level_separation());
         }
@@ -1073,13 +1348,7 @@ impl NetworkSim {
         let mut sinr_min = vec![f64::INFINITY; n];
         let mut meters: Vec<EnergyMeter> = vec![EnergyMeter::new(); n];
         let mut trace: Vec<PacketSample> = Vec::new();
-        let mut faders: Vec<Option<FadingProcess>> = (0..n)
-            .map(|_| {
-                self.cfg
-                    .fading
-                    .map(|f| FadingProcess::new(Rician::new(Db::new(f.k_db)), f.rho, &mut rng))
-            })
-            .collect();
+        let mut ctxs = self.node_ctxs();
 
         // Control plane.
         let mut inj = FaultInjector::new(faults.clone(), self.cfg.seed);
@@ -1150,269 +1419,107 @@ impl NetworkSim {
                 .expect("AP restart is ahead of t = 0");
         }
 
-        while let Some((t, ev)) = fab.q.pop() {
-            if t > self.cfg.duration {
-                break;
-            }
-            match ev {
-                FEvent::Step => {
-                    for w in walkers.iter_mut() {
-                        w.step(&self.room, self.cfg.step.value(), &mut rng);
+        // The gather→commit event loop (DESIGN.md §9): identical
+        // batching to the fault-free engine, with the control plane —
+        // all shared state — running entirely in the commit phase.
+        let threads = pool::resolve_threads(self.cfg.threads);
+        let spatial_ref = spatial.as_ref();
+        pool::scoped(
+            threads,
+            |task: PacketTask| {
+                self.gather_packet(task, &slots, &rates, spatial_ref, bandwidth, &pc_backoff)
+            },
+            |disp| {
+                let mut batch: Vec<(Seconds, usize, Planned)> = Vec::new();
+                let mut results: Vec<Option<PacketGather>> = Vec::new();
+                while let Some((t, ev)) = fab.q.pop() {
+                    if t > self.cfg.duration {
+                        break;
                     }
-                    if let Some(p) = pacer.as_mut() {
-                        p.step(self.cfg.step.value());
-                    }
-                    fab.q
-                        .schedule_in(self.cfg.step, FEvent::Step)
-                        .expect("step period is positive");
-                }
-                FEvent::Wake(i) => {
-                    if !self.nodes[i].is_active(t) {
-                        continue;
-                    }
-                    let was = links[i].state();
-                    links[i].start_join(t);
-                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                    fab.send_join(
-                        t,
-                        i,
-                        &links[i],
-                        self.nodes[i].id,
-                        self.nodes[i].demand.bps(),
-                        &mut meters[i],
-                        rec,
-                    );
-                }
-                FEvent::Rejoin(i) => {
-                    // Spurious when the matching crash was skipped
-                    // (node already inactive at crash time).
-                    if !self.nodes[i].is_active(t) || alive[i] {
-                        continue;
-                    }
-                    alive[i] = true;
-                    let was = links[i].state();
-                    links[i].start_join(t);
-                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                    fab.send_join(
-                        t,
-                        i,
-                        &links[i],
-                        self.nodes[i].id,
-                        self.nodes[i].demand.bps(),
-                        &mut meters[i],
-                        rec,
-                    );
-                }
-                FEvent::Depart(i) => {
-                    alive[i] = false;
-                    rx[i] = DbmPower::ZERO_POWER;
-                    let was = links[i].state();
-                    links[i].on_crash();
-                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                    rec.event(t.value(), "fault", i as i64, "depart", "", 0.0);
-                    meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
-                    fab.send(
-                        t,
-                        FEvent::ToAp(ControlMsg::Leave {
-                            node: self.nodes[i].id,
-                        }),
-                        rec,
-                    );
-                }
-                FEvent::Crash(i) => {
-                    if !alive[i] || !self.nodes[i].is_active(t) {
-                        continue;
-                    }
-                    alive[i] = false;
-                    rx[i] = DbmPower::ZERO_POWER;
-                    let was = links[i].state();
-                    links[i].on_crash();
-                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                    rec.event(t.value(), "fault", i as i64, "crash", "", 0.0);
-                    rec.inc("faults", "crash");
-                    recovery.crashes += 1;
-                }
-                FEvent::RetryJoin(i, attempt) => {
-                    if !alive[i] {
-                        continue;
-                    }
-                    if links[i].retry_join(attempt) == LinkAction::SendJoin {
-                        fab.send_join(
-                            t,
-                            i,
-                            &links[i],
-                            self.nodes[i].id,
-                            self.nodes[i].demand.bps(),
-                            &mut meters[i],
-                            rec,
-                        );
-                    }
-                }
-                FEvent::KeepaliveTick(i) => {
-                    if !alive[i] || !links[i].is_streaming() {
-                        keepalive_on[i] = false;
-                        continue;
-                    }
-                    meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
-                    fab.send(
-                        t,
-                        FEvent::ToAp(ControlMsg::Keepalive {
-                            node: self.nodes[i].id,
-                        }),
-                        rec,
-                    );
-                    fab.q
-                        .schedule_in(self.cfg.lease.keepalive_interval, FEvent::KeepaliveTick(i))
-                        .expect("keepalive interval is positive");
-                }
-                FEvent::LeaseCheck => {
-                    for id in admission.expire_stale(t, self.cfg.lease.duration) {
-                        rec.event(t.value(), "lease", id as i64, "expired", "", 0.0);
-                        rec.inc("leases_expired", "");
-                        // The node may still believe it is granted (all
-                        // its keepalives were lost): tell it to rejoin.
-                        if let Some(i) = idx_of(id) {
-                            if alive[i] && links[i].is_streaming() {
-                                fab.send(
-                                    t,
-                                    FEvent::ToNode(i, ControlMsg::Reject { node: id }),
-                                    rec,
-                                );
+                    match ev {
+                        FEvent::Step => {
+                            for w in walkers.iter_mut() {
+                                w.step(&self.room, self.cfg.step.value(), &mut rng);
                             }
+                            if let Some(p) = pacer.as_mut() {
+                                p.step(self.cfg.step.value());
+                            }
+                            cur_blockers = Arc::new(blockers(&walkers, &pacer));
+                            fab.q
+                                .schedule_in(self.cfg.step, FEvent::Step)
+                                .expect("step period is positive");
                         }
-                    }
-                    fab.q
-                        .schedule_in(self.cfg.lease.keepalive_interval, FEvent::LeaseCheck)
-                        .expect("lease scan interval is positive");
-                }
-                FEvent::ApRestart => {
-                    rec.event(t.value(), "fault", -1, "ap_restart", "", 0.0);
-                    rec.inc("faults", "ap_restart");
-                    admission.restart();
-                }
-                FEvent::BurstStart => {
-                    if burst_depth == 0 {
-                        rec.span_begin(t.value(), "burst", -1);
-                    }
-                    burst_depth += 1;
-                }
-                FEvent::BurstEnd => {
-                    burst_depth = burst_depth.saturating_sub(1);
-                    if burst_depth == 0 {
-                        rec.span_end(t.value(), "burst", -1);
-                    }
-                }
-                FEvent::ToAp(msg) => match msg {
-                    ControlMsg::JoinRequest { node, demand_bps } => {
-                        match admission.join_at(node, BitRate::new(demand_bps), t) {
-                            Ok(grants) => {
-                                for g in grants {
-                                    if let ControlMsg::Grant { node: gid, .. } = &g {
-                                        if let Some(i) = idx_of(*gid) {
-                                            fab.send(t, FEvent::ToNode(i, g.clone()), rec);
-                                        }
-                                    }
-                                }
+                        FEvent::Wake(i) => {
+                            if !self.nodes[i].is_active(t) {
+                                continue;
                             }
-                            Err(_) => {
-                                if let Some(i) = idx_of(node) {
-                                    fab.send(
-                                        t,
-                                        FEvent::ToNode(i, ControlMsg::Reject { node }),
-                                        rec,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    ControlMsg::GrantAck { node, epoch } => admission.ack(node, epoch),
-                    ControlMsg::Keepalive { node } => {
-                        if !admission.refresh(node, t) {
-                            if let Some(i) = idx_of(node) {
-                                fab.send(t, FEvent::ToNode(i, ControlMsg::Reject { node }), rec);
-                            }
-                        }
-                    }
-                    ControlMsg::Leave { node } => admission.leave(node),
-                    ControlMsg::Grant { .. } | ControlMsg::Reject { .. } => {}
-                },
-                FEvent::ToNode(i, msg) => {
-                    if !alive[i] {
-                        continue; // delivered to a crashed radio
-                    }
-                    match msg {
-                        ControlMsg::Grant {
-                            epoch, center_hz, ..
-                        } => {
                             let was = links[i].state();
-                            let (act, healed) = links[i].on_grant(epoch, center_hz, t);
+                            links[i].start_join(t);
                             fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                            if act == LinkAction::AckGrant {
-                                meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
-                                fab.send(
-                                    t,
-                                    FEvent::ToAp(ControlMsg::GrantAck {
-                                        node: self.nodes[i].id,
-                                        epoch,
-                                    }),
-                                    rec,
-                                );
-                                if !keepalive_on[i] {
-                                    keepalive_on[i] = true;
-                                    fab.q
-                                        .schedule_in(
-                                            self.cfg.lease.keepalive_interval,
-                                            FEvent::KeepaliveTick(i),
-                                        )
-                                        .expect("keepalive interval is positive");
-                                }
-                                if !packets_on[i] {
-                                    packets_on[i] = true;
-                                    let offset =
-                                        self.nodes[i].packet_interval() * (i as f64 / n as f64);
-                                    fab.q
-                                        .schedule_at(t + offset, FEvent::Packet(i))
-                                        .expect("first packet is ahead");
-                                }
-                            }
-                            if let Some(d) = healed {
-                                match was {
-                                    LinkState::Joining => {
-                                        recovery.joins += 1;
-                                        join_sum += d.value();
-                                        rec.event(
-                                            t.value(),
-                                            "recover",
-                                            i as i64,
-                                            "join",
-                                            "",
-                                            d.value(),
-                                        );
-                                        rec.observe("join_s", "", d.value());
-                                    }
-                                    _ => {
-                                        recovery.recoveries += 1;
-                                        rec_sum += d.value();
-                                        recovery.max_recovery_s =
-                                            recovery.max_recovery_s.max(d.value());
-                                        rec.event(
-                                            t.value(),
-                                            "recover",
-                                            i as i64,
-                                            "rejoin",
-                                            "",
-                                            d.value(),
-                                        );
-                                        rec.observe("recovery_s", "", d.value());
-                                    }
-                                }
-                            }
+                            fab.send_join(
+                                t,
+                                i,
+                                &links[i],
+                                self.nodes[i].id,
+                                self.nodes[i].demand.bps(),
+                                &mut meters[i],
+                                rec,
+                            );
                         }
-                        ControlMsg::Reject { .. } => {
+                        FEvent::Rejoin(i) => {
+                            // Spurious when the matching crash was skipped
+                            // (node already inactive at crash time).
+                            if !self.nodes[i].is_active(t) || alive[i] {
+                                continue;
+                            }
+                            alive[i] = true;
                             let was = links[i].state();
-                            let act = links[i].on_reject(t);
+                            links[i].start_join(t);
                             fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                            if act == LinkAction::SendJoin {
+                            fab.send_join(
+                                t,
+                                i,
+                                &links[i],
+                                self.nodes[i].id,
+                                self.nodes[i].demand.bps(),
+                                &mut meters[i],
+                                rec,
+                            );
+                        }
+                        FEvent::Depart(i) => {
+                            alive[i] = false;
+                            rx[i] = DbmPower::ZERO_POWER;
+                            let was = links[i].state();
+                            links[i].on_crash();
+                            fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                            rec.event(t.value(), "fault", i as i64, "depart", "", 0.0);
+                            meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
+                            fab.send(
+                                t,
+                                FEvent::ToAp(ControlMsg::Leave {
+                                    node: self.nodes[i].id,
+                                }),
+                                rec,
+                            );
+                        }
+                        FEvent::Crash(i) => {
+                            if !alive[i] || !self.nodes[i].is_active(t) {
+                                continue;
+                            }
+                            alive[i] = false;
+                            rx[i] = DbmPower::ZERO_POWER;
+                            let was = links[i].state();
+                            links[i].on_crash();
+                            fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                            rec.event(t.value(), "fault", i as i64, "crash", "", 0.0);
+                            rec.inc("faults", "crash");
+                            recovery.crashes += 1;
+                        }
+                        FEvent::RetryJoin(i, attempt) => {
+                            if !alive[i] {
+                                continue;
+                            }
+                            if links[i].retry_join(attempt) == LinkAction::SendJoin {
                                 fab.send_join(
                                     t,
                                     i,
@@ -1424,129 +1531,357 @@ impl NetworkSim {
                                 );
                             }
                         }
-                        _ => {}
-                    }
-                }
-                FEvent::Packet(i) => {
-                    if !self.nodes[i].is_active(t) {
-                        rx[i] = DbmPower::ZERO_POWER;
-                        packets_on[i] = false;
-                        continue;
-                    }
-                    if !alive[i] || !links[i].is_streaming() {
-                        // The application clock keeps ticking while the
-                        // radio is down or waiting on re-admission.
-                        rx[i] = DbmPower::ZERO_POWER;
-                        recovery.packets_lost_to_churn += 1;
-                        pm.lost_to_churn += 1;
-                        fab.q
-                            .schedule_in(self.nodes[i].packet_interval(), FEvent::Packet(i))
-                            .expect("packet interval is positive");
-                        continue;
-                    }
-                    let current = blockers(&walkers, &pacer);
-                    let (p, ch) = self.rx_power(i, &current);
-                    let (p, ch) = match faders[i].as_mut() {
-                        Some(f) => {
-                            let faded = f.step(&ch, &mut rng);
-                            let mark = faded.gain(faded.stronger_beam());
-                            (
-                                self.nodes[i].front_end().antenna_power()
-                                    - self.cfg.implementation_loss
-                                    + mark,
-                                faded,
-                            )
+                        FEvent::KeepaliveTick(i) => {
+                            if !alive[i] || !links[i].is_streaming() {
+                                keepalive_on[i] = false;
+                                continue;
+                            }
+                            meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
+                            fab.send(
+                                t,
+                                FEvent::ToAp(ControlMsg::Keepalive {
+                                    node: self.nodes[i].id,
+                                }),
+                                rec,
+                            );
+                            fab.q
+                                .schedule_in(
+                                    self.cfg.lease.keepalive_interval,
+                                    FEvent::KeepaliveTick(i),
+                                )
+                                .expect("keepalive interval is positive");
                         }
-                        None => (p, ch),
-                    };
-                    let mut pwr = p - pc_backoff[i];
-                    if burst_depth > 0 {
-                        pwr -= faults.burst_loss;
-                    }
-                    rx[i] = pwr;
-                    seps[i] = ch.level_separation();
-                    let sinr = self.sinr(i, &slots, &rx, spatial.as_ref(), bandwidth);
-                    sinr_sum[i] += sinr.value();
-                    sinr_min[i] = sinr_min[i].min(sinr.value());
-                    sent[i] += 1;
+                        FEvent::LeaseCheck => {
+                            for id in admission.expire_stale(t, self.cfg.lease.duration) {
+                                rec.event(t.value(), "lease", id as i64, "expired", "", 0.0);
+                                rec.inc("leases_expired", "");
+                                // The node may still believe it is granted (all
+                                // its keepalives were lost): tell it to rejoin.
+                                if let Some(i) = idx_of(id) {
+                                    if alive[i] && links[i].is_streaming() {
+                                        fab.send(
+                                            t,
+                                            FEvent::ToNode(i, ControlMsg::Reject { node: id }),
+                                            rec,
+                                        );
+                                    }
+                                }
+                            }
+                            fab.q
+                                .schedule_in(self.cfg.lease.keepalive_interval, FEvent::LeaseCheck)
+                                .expect("lease scan interval is positive");
+                        }
+                        FEvent::ApRestart => {
+                            rec.event(t.value(), "fault", -1, "ap_restart", "", 0.0);
+                            rec.inc("faults", "ap_restart");
+                            admission.restart();
+                        }
+                        FEvent::BurstStart => {
+                            if burst_depth == 0 {
+                                rec.span_begin(t.value(), "burst", -1);
+                            }
+                            burst_depth += 1;
+                        }
+                        FEvent::BurstEnd => {
+                            burst_depth = burst_depth.saturating_sub(1);
+                            if burst_depth == 0 {
+                                rec.span_end(t.value(), "burst", -1);
+                            }
+                        }
+                        FEvent::ToAp(msg) => match msg {
+                            ControlMsg::JoinRequest { node, demand_bps } => {
+                                match admission.join_at(node, BitRate::new(demand_bps), t) {
+                                    Ok(grants) => {
+                                        for g in grants {
+                                            if let ControlMsg::Grant { node: gid, .. } = &g {
+                                                if let Some(i) = idx_of(*gid) {
+                                                    fab.send(t, FEvent::ToNode(i, g.clone()), rec);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    Err(_) => {
+                                        if let Some(i) = idx_of(node) {
+                                            fab.send(
+                                                t,
+                                                FEvent::ToNode(i, ControlMsg::Reject { node }),
+                                                rec,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            ControlMsg::GrantAck { node, epoch } => admission.ack(node, epoch),
+                            ControlMsg::Keepalive { node } => {
+                                if !admission.refresh(node, t) {
+                                    if let Some(i) = idx_of(node) {
+                                        fab.send(
+                                            t,
+                                            FEvent::ToNode(i, ControlMsg::Reject { node }),
+                                            rec,
+                                        );
+                                    }
+                                }
+                            }
+                            ControlMsg::Leave { node } => admission.leave(node),
+                            ControlMsg::Grant { .. } | ControlMsg::Reject { .. } => {}
+                        },
+                        FEvent::ToNode(i, msg) => {
+                            if !alive[i] {
+                                continue; // delivered to a crashed radio
+                            }
+                            match msg {
+                                ControlMsg::Grant {
+                                    epoch, center_hz, ..
+                                } => {
+                                    let was = links[i].state();
+                                    let (act, healed) = links[i].on_grant(epoch, center_hz, t);
+                                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                                    if act == LinkAction::AckGrant {
+                                        meters[i].record_fixed(CONTROL_MSG_ENERGY_J);
+                                        fab.send(
+                                            t,
+                                            FEvent::ToAp(ControlMsg::GrantAck {
+                                                node: self.nodes[i].id,
+                                                epoch,
+                                            }),
+                                            rec,
+                                        );
+                                        if !keepalive_on[i] {
+                                            keepalive_on[i] = true;
+                                            fab.q
+                                                .schedule_in(
+                                                    self.cfg.lease.keepalive_interval,
+                                                    FEvent::KeepaliveTick(i),
+                                                )
+                                                .expect("keepalive interval is positive");
+                                        }
+                                        if !packets_on[i] {
+                                            packets_on[i] = true;
+                                            let offset = self.nodes[i].packet_interval()
+                                                * (i as f64 / n as f64);
+                                            fab.q
+                                                .schedule_at(t + offset, FEvent::Packet(i))
+                                                .expect("first packet is ahead");
+                                        }
+                                    }
+                                    if let Some(d) = healed {
+                                        match was {
+                                            LinkState::Joining => {
+                                                recovery.joins += 1;
+                                                join_sum += d.value();
+                                                rec.event(
+                                                    t.value(),
+                                                    "recover",
+                                                    i as i64,
+                                                    "join",
+                                                    "",
+                                                    d.value(),
+                                                );
+                                                rec.observe("join_s", "", d.value());
+                                            }
+                                            _ => {
+                                                recovery.recoveries += 1;
+                                                rec_sum += d.value();
+                                                recovery.max_recovery_s =
+                                                    recovery.max_recovery_s.max(d.value());
+                                                rec.event(
+                                                    t.value(),
+                                                    "recover",
+                                                    i as i64,
+                                                    "rejoin",
+                                                    "",
+                                                    d.value(),
+                                                );
+                                                rec.observe("recovery_s", "", d.value());
+                                            }
+                                        }
+                                    }
+                                }
+                                ControlMsg::Reject { .. } => {
+                                    let was = links[i].state();
+                                    let act = links[i].on_reject(t);
+                                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
+                                    if act == LinkAction::SendJoin {
+                                        fab.send_join(
+                                            t,
+                                            i,
+                                            &links[i],
+                                            self.nodes[i].id,
+                                            self.nodes[i].demand.bps(),
+                                            &mut meters[i],
+                                            rec,
+                                        );
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        FEvent::Packet(first) => {
+                            // -- drain: a lookahead window of packets (see the
+                            // fault-free engine; identical batching rule) --
+                            batch.clear();
+                            let classify = |tb: Seconds, i: usize| {
+                                if !self.nodes[i].is_active(tb) {
+                                    Planned::Inactive
+                                } else if !alive[i] || !links[i].is_streaming() {
+                                    Planned::Churn
+                                } else {
+                                    Planned::Tx
+                                }
+                            };
+                            batch.push((t, first, classify(t, first)));
+                            let mut horizon = t + self.nodes[first].packet_interval();
+                            while batch.len() < MAX_BATCH {
+                                match fab.q.peek() {
+                                    Some((tn, &FEvent::Packet(_)))
+                                        if tn < horizon && tn <= self.cfg.duration =>
+                                    {
+                                        let Some((tn, FEvent::Packet(j))) = fab.q.pop() else {
+                                            unreachable!("peeked a packet");
+                                        };
+                                        horizon = horizon.min(tn + self.nodes[j].packet_interval());
+                                        batch.push((tn, j, classify(tn, j)));
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            // -- gather: per-node work, in parallel --
+                            let shared = Arc::new(BatchShared {
+                                blockers: Arc::clone(&cur_blockers),
+                                rx: rx.clone(),
+                                extra_loss: if burst_depth > 0 {
+                                    faults.burst_loss
+                                } else {
+                                    Db::ZERO
+                                },
+                                obs_on: pm.on,
+                                obs_margin: true,
+                            });
+                            let tasks: Vec<PacketTask> = batch
+                                .iter()
+                                .filter(|&&(_, _, plan)| plan == Planned::Tx)
+                                .map(|&(_, i, _)| PacketTask {
+                                    i,
+                                    fsk: links[i].state() == LinkState::Outage,
+                                    ctx: ctxs[i].take().expect("one packet per node per batch"),
+                                    shared: Arc::clone(&shared),
+                                })
+                                .collect();
+                            disp.run(tasks, &mut results);
+                            // -- commit: control plane, stats, obs and
+                            // rescheduling in the drained (serial event) order --
+                            let mut slot = 0;
+                            for &(tb, i, plan) in &batch {
+                                match plan {
+                                    Planned::Inactive => {
+                                        rx[i] = DbmPower::ZERO_POWER;
+                                        packets_on[i] = false;
+                                        continue;
+                                    }
+                                    Planned::Churn => {
+                                        // The application clock keeps ticking
+                                        // while the radio is down or waiting on
+                                        // re-admission.
+                                        rx[i] = DbmPower::ZERO_POWER;
+                                        recovery.packets_lost_to_churn += 1;
+                                        pm.lost_to_churn += 1;
+                                        fab.q
+                                            .schedule_at(
+                                                tb + self.nodes[i].packet_interval(),
+                                                FEvent::Packet(i),
+                                            )
+                                            .expect("reschedule lands inside the batch horizon");
+                                        continue;
+                                    }
+                                    Planned::Tx => {}
+                                }
+                                let mut g = results[slot].take().expect("gather result");
+                                slot += 1;
+                                debug_assert_eq!(g.i, i);
+                                rx[i] = g.pwr;
+                                seps[i] = g.sep;
+                                sinr_sum[i] += g.sinr.value();
+                                sinr_min[i] = sinr_min[i].min(g.sinr.value());
+                                sent[i] += 1;
 
-                    let air_bits = self.nodes[i].packet_air_bits();
-                    let proc_gain =
-                        Db::new(10.0 * (bandwidth.hz() / (1.25 * rates[i].bps())).log10())
-                            .max(Db::ZERO);
-                    let decision_snr = sinr + proc_gain;
-                    let in_outage = links[i].state() == LinkState::Outage;
-                    let decodable = decision_snr >= self.cfg.decode_threshold;
-                    let was = links[i].state();
-                    let (act, healed) =
-                        links[i].on_packet_sinr(decodable, self.cfg.outage_window, t);
-                    fsm_note(rec, &mut fsm_cursor, t, i, was, links[i].state());
-                    if act == LinkAction::SendJoin {
-                        // Outage declared: FSK fallback + re-admission.
-                        recovery.outages += 1;
-                        rec.event(t.value(), "recover", i as i64, "outage", "", 0.0);
-                        fab.send_join(
-                            t,
-                            i,
-                            &links[i],
-                            self.nodes[i].id,
-                            self.nodes[i].demand.bps(),
-                            &mut meters[i],
-                            rec,
-                        );
+                                let decodable = g.decision_snr >= self.cfg.decode_threshold;
+                                let was = links[i].state();
+                                let (act, healed) =
+                                    links[i].on_packet_sinr(decodable, self.cfg.outage_window, tb);
+                                fsm_note(rec, &mut fsm_cursor, tb, i, was, links[i].state());
+                                if act == LinkAction::SendJoin {
+                                    // Outage declared: FSK fallback +
+                                    // re-admission.
+                                    recovery.outages += 1;
+                                    rec.event(tb.value(), "recover", i as i64, "outage", "", 0.0);
+                                    fab.send_join(
+                                        tb,
+                                        i,
+                                        &links[i],
+                                        self.nodes[i].id,
+                                        self.nodes[i].demand.bps(),
+                                        &mut meters[i],
+                                        rec,
+                                    );
+                                }
+                                if let Some(d) = healed {
+                                    recovery.recoveries += 1;
+                                    rec_sum += d.value();
+                                    recovery.max_recovery_s =
+                                        recovery.max_recovery_s.max(d.value());
+                                    rec.event(
+                                        tb.value(),
+                                        "recover",
+                                        i as i64,
+                                        "rejoin",
+                                        "",
+                                        d.value(),
+                                    );
+                                    rec.observe("recovery_s", "", d.value());
+                                }
+                                if g.fsk {
+                                    pm.fsk_fallback += 1;
+                                }
+                                pm.sent += 1;
+                                pm.absorb(&mut g.stage);
+                                let airtime = self.nodes[i].packet_airtime(rates[i]);
+                                meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
+                                let ok = g.draw >= g.per;
+                                if ok {
+                                    delivered[i] += 1;
+                                    pm.delivered += 1;
+                                    meters[i]
+                                        .record_delivered(self.nodes[i].payload_bytes as u64 * 8);
+                                    // The data plane is proof of liveness: a
+                                    // decoded packet refreshes the lease like a
+                                    // keepalive, so a streaming node can't lose
+                                    // its spectrum to an unlucky run of lost
+                                    // keepalives. Keepalives still carry nodes
+                                    // through idle gaps longer than the lease.
+                                    admission.refresh(self.nodes[i].id, tb);
+                                }
+                                if self.cfg.record_trace {
+                                    trace.push(PacketSample {
+                                        t: tb,
+                                        node: i,
+                                        sinr_db: g.sinr.value(),
+                                        delivered: ok,
+                                    });
+                                }
+                                ctxs[i] = Some(g.ctx);
+                                fab.q
+                                    .schedule_at(
+                                        tb + self.nodes[i].packet_interval(),
+                                        FEvent::Packet(i),
+                                    )
+                                    .expect("reschedule lands inside the batch horizon");
+                            }
+                        }
                     }
-                    if let Some(d) = healed {
-                        recovery.recoveries += 1;
-                        rec_sum += d.value();
-                        recovery.max_recovery_s = recovery.max_recovery_s.max(d.value());
-                        rec.event(t.value(), "recover", i as i64, "rejoin", "", d.value());
-                        rec.observe("recovery_s", "", d.value());
-                    }
-                    // §6.2: in an outage the node drops the ASK bits and
-                    // keeps only the (more robust) FSK stream.
-                    let ber = if in_outage {
-                        pm.fsk_fallback += 1;
-                        fsk_ber(decision_snr)
-                    } else {
-                        joint_ber(decision_snr, seps[i], Db::new(2.0))
-                    };
-                    pm.sent += 1;
-                    if pm.on {
-                        pm.sinr_db.record(sinr.value());
-                        pm.margin_db
-                            .record((decision_snr - self.cfg.decode_threshold).value());
-                        pm.ber.record(ber);
-                    }
-                    let per = 1.0 - (1.0 - ber).powi(air_bits as i32);
-                    let airtime = self.nodes[i].packet_airtime(rates[i]);
-                    meters[i].record_airtime(airtime, self.nodes[i].tx_power_draw());
-                    let ok = rng.gen::<f64>() >= per;
-                    if ok {
-                        delivered[i] += 1;
-                        pm.delivered += 1;
-                        meters[i].record_delivered(self.nodes[i].payload_bytes as u64 * 8);
-                        // The data plane is proof of liveness: a decoded
-                        // packet refreshes the lease like a keepalive, so
-                        // a streaming node can't lose its spectrum to an
-                        // unlucky run of lost keepalives. Keepalives
-                        // still carry nodes through idle gaps longer
-                        // than the lease.
-                        admission.refresh(self.nodes[i].id, t);
-                    }
-                    if self.cfg.record_trace {
-                        trace.push(PacketSample {
-                            t,
-                            node: i,
-                            sinr_db: sinr.value(),
-                            delivered: ok,
-                        });
-                    }
-                    fab.q
-                        .schedule_in(self.nodes[i].packet_interval(), FEvent::Packet(i))
-                        .expect("packet interval is positive");
                 }
-            }
-        }
+            },
+        );
 
         // Close out the FSM dwell accounting at the horizon and stamp
         // the run end.
@@ -1744,7 +2079,7 @@ mod tests {
             pos.x = pos.x.clamp(0.3, 5.4);
             pos.y = pos.y.clamp(0.3, 3.7);
             let pose = Pose::facing_toward(pos, ap_pos);
-            sim.add_node(NodeStation::hd_camera(i as u8, pose));
+            sim.add_node(NodeStation::hd_camera(i as u16, pose));
         }
         sim
     }
@@ -1875,7 +2210,7 @@ mod tests {
         for i in 0..20 {
             let pos = Vec2::new(0.5 + 0.2 * i as f64, 1.0);
             sim.add_node(NodeStation::hd_camera(
-                i as u8,
+                i as u16,
                 Pose::facing_toward(pos, Vec2::new(5.7, 2.0)),
             ));
         }

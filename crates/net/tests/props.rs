@@ -39,7 +39,7 @@ fn faulted_network(n: usize, faults: FaultConfig, duration: Seconds, seed: u64) 
         let bearing = Degrees::new(180.0 - 30.0 + 60.0 * frac);
         let pos = ap_pos + Vec2::from_bearing(bearing) * 3.0;
         let pose = Pose::facing_toward(pos, ap_pos);
-        sim.add_node(NodeStation::new(i as u8, pose, BitRate::new(50_000.0)));
+        sim.add_node(NodeStation::new(i as u16, pose, BitRate::new(50_000.0)));
     }
     sim
 }
@@ -124,6 +124,38 @@ proptest! {
         prop_assert!(adjacent_channel_leakage(k).value() <= 0.0);
     }
 
+    /// Per-node RNG stream independence: splitting a master seed into N
+    /// node streams yields identical per-node draw sequences whether the
+    /// streams are instantiated and drawn in node order, in reverse, or
+    /// concurrently on worker threads. This is the property that lets
+    /// the gather phase hand each node its own stream with no
+    /// cross-node coupling.
+    #[test]
+    fn node_streams_are_order_independent(
+        seed in any::<u64>(),
+        n in 2usize..24,
+        draws in 1usize..32,
+    ) {
+        use rand::Rng as _;
+        let pull = |i: usize| -> Vec<u64> {
+            let mut rng = mmx_net::streams::node_stream(seed, i);
+            (0..draws).map(|_| rng.gen::<u64>()).collect()
+        };
+        let forward: Vec<Vec<u64>> = (0..n).map(pull).collect();
+        let mut reversed: Vec<Vec<u64>> = (0..n).rev().map(pull).collect();
+        reversed.reverse();
+        let parallel: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n).map(|i| s.spawn(move || pull(i))).collect();
+            handles.into_iter().map(|h| h.join().expect("stream worker")).collect()
+        });
+        prop_assert_eq!(&forward, &reversed, "stream draws depend on evaluation order");
+        prop_assert_eq!(&forward, &parallel, "stream draws depend on threading");
+        // And the streams really are distinct streams.
+        for i in 1..n {
+            prop_assert!(forward[0] != forward[i], "streams 0 and {} collide", i);
+        }
+    }
+
     /// Safety: whatever sequence of joins, leaves, refreshes and expiry
     /// scans hits the AP, no two live leases ever overlap in frequency.
     #[test]
@@ -136,13 +168,13 @@ proptest! {
         for (op, node, mbps) in ops {
             now += Seconds::from_millis(50.0);
             match op {
-                0 => { let _ = a.join_at(node, BitRate::from_mbps(mbps), now); }
-                1 => a.leave(node),
-                2 => { a.refresh(node, now); }
+                0 => { let _ = a.join_at(node.into(), BitRate::from_mbps(mbps), now); }
+                1 => a.leave(node.into()),
+                2 => { a.refresh(node.into(), now); }
                 _ => { a.expire_stale(now, lease); }
             }
             let grants: Vec<ChannelAssignment> =
-                (0u8..6).filter_map(|id| a.grant_of(id)).collect();
+                (0u16..6).filter_map(|id| a.grant_of(id)).collect();
             for i in 0..grants.len() {
                 for j in i + 1..grants.len() {
                     prop_assert!(
@@ -237,6 +269,38 @@ proptest! {
         prop_assert_eq!(runs.len(), 4);
         for run in &runs {
             prop_assert_eq!(run.nodes.len(), 2);
+        }
+    }
+
+    /// Intra-sim determinism: one faulted, fading, walker-heavy sim run
+    /// with the phase-parallel event loop at 1, 2, 4 and 8 worker
+    /// threads produces a byte-identical packet trace, recovery
+    /// metrics, JSONL observability trace and rendered registry.
+    #[test]
+    fn single_sim_identical_across_intra_thread_counts(seed in 1u64..1000) {
+        let run_at = |threads: usize| {
+            let faults = FaultConfig::lossy(0.15)
+                .with_churn(0.2, Seconds::from_millis(500.0));
+            let mut sim = faulted_network(4, faults, Seconds::new(3.0), seed);
+            sim.config_mut().record_trace = true;
+            sim.config_mut().walkers = 2;
+            sim.config_mut().fading = Some(mmx_net::sim::FadingConfig::indoor());
+            sim.config_mut().threads = threads;
+            let mut rec = mmx_obs::Recorder::enabled();
+            let report = sim.run_observed(&mut rec).expect("sim runs");
+            (report, rec.trace_jsonl(), rec.registry().render())
+        };
+        let (base_report, base_jsonl, base_registry) = run_at(1);
+        prop_assert!(!base_jsonl.is_empty());
+        for threads in [2usize, 4, 8] {
+            let (report, jsonl, registry) = run_at(threads);
+            prop_assert_eq!(&base_report.trace, &report.trace,
+                "packet traces diverge at {} threads", threads);
+            prop_assert_eq!(&base_report.recovery, &report.recovery);
+            prop_assert_eq!(&base_report.nodes, &report.nodes);
+            prop_assert_eq!(&base_jsonl, &jsonl,
+                "JSONL traces diverge at {} threads", threads);
+            prop_assert_eq!(&base_registry, &registry);
         }
     }
 }

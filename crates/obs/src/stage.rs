@@ -1,0 +1,222 @@
+//! Thread-local observability staging for phase-parallel engines.
+//!
+//! The intra-sim parallel event loop (`mmx_net::sim`) computes per-node
+//! work on a pool of workers, but the [`Recorder`] is single-owner
+//! state that only the commit phase may touch. An [`ObsStage`] is the
+//! bridge: each parallel task records into its **own** stage (no
+//! sharing, no locks), the task's result carries the stage back to the
+//! commit phase, and the commit phase merges stages **in the canonical
+//! commit order** (the serial event order of the batch). Because each
+//! stage's contents are a pure function of its task and the merge
+//! order is a pure function of the event queue, the recorder's trace
+//! and registry end up byte-identical at any worker thread count.
+//!
+//! Two kinds of records can be staged:
+//!
+//! * **trace events** — order-sensitive; the deterministic merge order
+//!   is what keeps the JSONL trace stable across thread counts;
+//! * **histogram observations** — order-insensitive by the histogram
+//!   merge law, staged so hot-path samples produced on workers reach
+//!   the registry without workers ever holding `&mut Recorder`.
+//!
+//! A stage is plain data (`Send`), costs nothing when unused (both
+//! buffers start empty and unallocated), and is recycled by
+//! [`ObsStage::clear`].
+
+use crate::recorder::Recorder;
+use crate::trace::TraceEvent;
+
+/// A staged histogram observation: `(metric name, label, value)` —
+/// exactly the arguments of [`Recorder::observe`].
+pub type StagedObservation = (&'static str, &'static str, f64);
+
+/// A thread-local buffer of observability records produced during a
+/// parallel gather phase, merged into the [`Recorder`] at commit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsStage {
+    events: Vec<TraceEvent>,
+    observations: Vec<StagedObservation>,
+}
+
+impl ObsStage {
+    /// An empty stage. Allocates nothing until the first record.
+    pub fn new() -> Self {
+        ObsStage::default()
+    }
+
+    /// Stages a trace event (same field conventions as
+    /// [`Recorder::event`]).
+    pub fn event(
+        &mut self,
+        t: f64,
+        kind: &'static str,
+        node: i64,
+        a: &'static str,
+        b: &'static str,
+        v: f64,
+    ) {
+        self.events.push(TraceEvent {
+            t,
+            kind,
+            node,
+            a,
+            b,
+            v,
+        });
+    }
+
+    /// Stages a histogram observation (same arguments as
+    /// [`Recorder::observe`]).
+    pub fn observe(&mut self, name: &'static str, label: &'static str, v: f64) {
+        self.observations.push((name, label, v));
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.observations.is_empty()
+    }
+
+    /// Number of staged records (events plus observations).
+    pub fn len(&self) -> usize {
+        self.events.len() + self.observations.len()
+    }
+
+    /// The staged events, in staging order (for callers that route
+    /// records somewhere other than a [`Recorder`]).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains the staged observations in staging order, leaving the
+    /// stage's observation buffer empty (capacity retained).
+    ///
+    /// For callers that keep their own stack-local histograms on the
+    /// commit path (the `PacketMetrics` idiom in `mmx_net::sim`) and
+    /// only want the raw samples.
+    pub fn drain_observations(&mut self) -> impl Iterator<Item = StagedObservation> + '_ {
+        self.observations.drain(..)
+    }
+
+    /// Empties the stage, retaining buffer capacity for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.observations.clear();
+    }
+
+    /// Merges every staged record into `rec`, in staging order, and
+    /// clears the stage.
+    ///
+    /// Merging stage A fully before stage B is equivalent to having
+    /// recorded A's and B's records directly in that order, so a commit
+    /// phase that merges stages in the serial event order reproduces
+    /// the serial recorder byte-for-byte. (Observations additionally
+    /// commute with each other by the histogram merge law; events do
+    /// not, which is why the canonical merge order matters.)
+    pub fn merge_into(&mut self, rec: &mut Recorder) {
+        for ev in self.events.drain(..) {
+            rec.event(ev.t, ev.kind, ev.node, ev.a, ev.b, ev.v);
+        }
+        for (name, label, v) in self.observations.drain(..) {
+            rec.observe(name, label, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(stage: &mut ObsStage, base: f64) {
+        stage.event(base, "fsm", 1, "Idle", "Joining", 0.0);
+        stage.observe("sinr_db", "", base + 0.5);
+        stage.event(base + 0.1, "recover", 1, "rejoin", "", base);
+    }
+
+    #[test]
+    fn merge_equals_direct_recording() {
+        let mut staged = Recorder::enabled();
+        let mut direct = Recorder::enabled();
+
+        let mut stage = ObsStage::new();
+        fill(&mut stage, 1.0);
+        stage.merge_into(&mut staged);
+
+        direct.event(1.0, "fsm", 1, "Idle", "Joining", 0.0);
+        direct.observe("sinr_db", "", 1.5);
+        direct.event(1.1, "recover", 1, "rejoin", "", 1.0);
+
+        assert_eq!(staged.trace_jsonl(), direct.trace_jsonl());
+        assert_eq!(
+            staged.histogram("sinr_db").map(|h| h.count()),
+            direct.histogram("sinr_db").map(|h| h.count())
+        );
+    }
+
+    #[test]
+    fn merge_clears_the_stage() {
+        let mut rec = Recorder::enabled();
+        let mut stage = ObsStage::new();
+        fill(&mut stage, 2.0);
+        assert_eq!(stage.len(), 3);
+        stage.merge_into(&mut rec);
+        assert!(stage.is_empty());
+        // A drained stage merges as a no-op.
+        let before = rec.trace_jsonl();
+        stage.merge_into(&mut rec);
+        assert_eq!(rec.trace_jsonl(), before);
+    }
+
+    #[test]
+    fn slot_order_merge_is_thread_count_invariant() {
+        // Fill stages on worker threads (completion order scrambled),
+        // merge in slot order: the trace must match the serial fill.
+        let fill_slot = |slot: usize| {
+            let mut s = ObsStage::new();
+            fill(&mut s, slot as f64);
+            s
+        };
+
+        let serial: Vec<ObsStage> = (0..8).map(fill_slot).collect();
+        let parallel: Vec<ObsStage> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|slot| scope.spawn(move || (slot, fill_slot(slot))))
+                .collect();
+            let mut out: Vec<Option<ObsStage>> = (0..8).map(|_| None).collect();
+            for h in handles {
+                let (slot, stage) = h.join().expect("worker");
+                out[slot] = Some(stage);
+            }
+            out.into_iter().map(Option::unwrap).collect()
+        });
+
+        let mut a = Recorder::enabled();
+        let mut b = Recorder::enabled();
+        for mut s in serial {
+            s.merge_into(&mut a);
+        }
+        for mut s in parallel {
+            s.merge_into(&mut b);
+        }
+        assert_eq!(a.trace_jsonl(), b.trace_jsonl());
+    }
+
+    #[test]
+    fn drain_observations_leaves_events() {
+        let mut stage = ObsStage::new();
+        fill(&mut stage, 3.0);
+        let obs: Vec<StagedObservation> = stage.drain_observations().collect();
+        assert_eq!(obs, vec![("sinr_db", "", 3.5)]);
+        assert_eq!(stage.events().len(), 2);
+        stage.clear();
+        assert!(stage.is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_drops_merged_records() {
+        let mut rec = Recorder::disabled();
+        let mut stage = ObsStage::new();
+        fill(&mut stage, 4.0);
+        stage.merge_into(&mut rec);
+        assert!(rec.trace().is_empty());
+    }
+}

@@ -49,7 +49,7 @@ fn soak_sim(seed: u64) -> NetworkSim {
         let bearing = Degrees::new(180.0 - 30.0 + 60.0 * frac);
         let pos = ap_pos + Vec2::from_bearing(bearing) * 3.0;
         sim.add_node(NodeStation::new(
-            i as u8,
+            i as u16,
             Pose::facing_toward(pos, ap_pos),
             BitRate::new(50_000.0),
         ));
