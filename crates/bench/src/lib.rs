@@ -19,6 +19,7 @@
 //! | [`fig12_range`] | Fig. 12 — SNR vs distance, two orientations |
 //! | [`fig13_multinode`] | Fig. 13 — SNR vs number of concurrent nodes |
 //! | [`fig13_scale`] | §7 scale-out: 50–500 sensors on one AP (intra-sim parallel) |
+//! | [`fig13_multi_ap`] | §7 multi-cell: 1–8 coordinated APs, 100–600 nodes, roaming |
 //! | [`table1`] | Table 1 — platform comparison |
 //! | [`ablations`] | §6.2/§6.3 design-choice ablations + beam search |
 //! | [`ext_rate`] | extension: rate adaptation vs distance |
@@ -40,6 +41,7 @@ pub mod fig09_waveforms;
 pub mod fig10_snr_map;
 pub mod fig11_ber_cdf;
 pub mod fig12_range;
+pub mod fig13_multi_ap;
 pub mod fig13_multinode;
 pub mod fig13_scale;
 pub mod obs_trace;

@@ -1,7 +1,7 @@
 //! The mmX access point as a device object.
 
 use mmx_channel::response::Pose;
-use mmx_net::ap::ApStation;
+use mmx_net::ap::{ApId, ApStation};
 use mmx_net::control::Admission;
 use mmx_net::fdm::BandPlan;
 use mmx_units::{Db, Hertz};
@@ -35,6 +35,20 @@ impl MmxAp {
     /// The AP pose.
     pub fn pose(&self) -> Pose {
         self.station.pose
+    }
+
+    /// Deployment identity (meaningful in multi-AP deployments; the
+    /// default standalone AP is `ap0`).
+    pub fn id(&self) -> ApId {
+        self.station.id()
+    }
+
+    /// Tags the AP with a deployment identity.
+    pub fn with_id(self, id: ApId) -> Self {
+        MmxAp {
+            station: self.station.with_id(id),
+            admission: self.admission,
+        }
     }
 
     /// Receiver noise figure.
@@ -92,5 +106,13 @@ mod tests {
     fn tma_variant_carries_array() {
         let ap = MmxAp::with_tma(pose(), 8, Hertz::from_mhz(1.0));
         assert!(ap.station().tma().is_some());
+    }
+
+    #[test]
+    fn identity_defaults_to_ap0_and_retags() {
+        let ap = MmxAp::prototype(pose());
+        assert_eq!(ap.id(), ApId(0));
+        let ap = ap.with_id(ApId(3));
+        assert_eq!(ap.id().to_string(), "ap3");
     }
 }

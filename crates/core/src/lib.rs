@@ -44,6 +44,7 @@ pub mod prelude {
     pub use crate::scenario;
     pub use mmx_channel::response::Pose;
     pub use mmx_channel::Vec2;
+    pub use mmx_net::ap::ApId;
     pub use mmx_units::{BitRate, Db, Degrees, Hertz, Seconds};
 }
 

@@ -5,6 +5,36 @@ use mmx_antenna::tma::Tma;
 use mmx_channel::response::Pose;
 use mmx_rf::frontend::ApFrontEnd;
 use mmx_units::{Db, Hertz};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an AP on the coordination plane.
+///
+/// Mirrors [`NodeId`](crate::control::NodeId): a dense `u16` index
+/// assigned at deployment time, carried in inter-AP messages
+/// ([`crate::multi_ap::ApMsg`]), handoff FSM states
+/// ([`crate::link::LinkState::Handoff`]), traces and reports instead of
+/// bare `usize` indices. It lives here rather than in `mmx-core`
+/// because `mmx-core` sits *above* `mmx-net` in the crate graph;
+/// `mmx-core`'s prelude re-exports it.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ApId(pub u16);
+
+impl ApId {
+    /// The id as a dense array index (APs are numbered 0..N at
+    /// deployment).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ApId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ap{}", self.0)
+    }
+}
 
 /// The mmX AP: receive chain plus either a single dipole (the prototype,
 /// §8.2) or a TMA (the multi-node SDM extension, §7(b)).
@@ -12,6 +42,7 @@ use mmx_units::{Db, Hertz};
 pub struct ApStation {
     /// Position and facing in the room.
     pub pose: Pose,
+    id: ApId,
     front_end: ApFrontEnd,
     tma: Option<Tma>,
 }
@@ -21,6 +52,7 @@ impl ApStation {
     pub fn dipole(pose: Pose) -> Self {
         ApStation {
             pose,
+            id: ApId::default(),
             front_end: ApFrontEnd::standard(),
             tma: None,
         }
@@ -31,9 +63,22 @@ impl ApStation {
     pub fn with_tma(pose: Pose, n: usize, switch_freq: Hertz) -> Self {
         ApStation {
             pose,
+            id: ApId::default(),
             front_end: ApFrontEnd::standard(),
             tma: Some(Tma::new(n, Hertz::from_ghz(24.0), switch_freq)),
         }
+    }
+
+    /// Tags the AP with its deployment id (builder style; single-AP
+    /// simulations keep the default `ap0`).
+    pub fn with_id(mut self, id: ApId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The AP's deployment id.
+    pub fn id(&self) -> ApId {
+        self.id
     }
 
     /// The receive chain.
@@ -78,6 +123,21 @@ mod tests {
     fn tma_ap_exposes_array() {
         let ap = ApStation::with_tma(pose(), 8, Hertz::from_mhz(1.0));
         assert_eq!(ap.tma().expect("tma").len(), 8);
+    }
+
+    #[test]
+    fn ap_id_defaults_to_zero_and_is_settable() {
+        let ap = ApStation::dipole(pose());
+        assert_eq!(ap.id(), ApId(0));
+        let ap = ApStation::with_tma(pose(), 8, Hertz::from_mhz(1.0)).with_id(ApId(3));
+        assert_eq!(ap.id().index(), 3);
+        assert_eq!(format!("{}", ap.id()), "ap3");
+    }
+
+    #[test]
+    fn ap_ids_order_like_their_indices() {
+        assert!(ApId(1) < ApId(2));
+        assert_eq!(ApId::default(), ApId(0));
     }
 
     #[test]

@@ -45,16 +45,115 @@ pub enum AllocError {
     DemandTooLarge,
 }
 
+/// Why a band plan (or a channelization checked against one) is
+/// invalid. Returned by [`BandPlan::checked`] and
+/// [`BandPlan::validate_channels`] instead of silently accepting a bad
+/// plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandPlanError {
+    /// A band edge is NaN or infinite.
+    NonFiniteBand,
+    /// The band's high edge does not exceed its low edge.
+    EmptyBand,
+    /// The guard is negative or non-finite.
+    BadGuard,
+    /// Sub-channel `index` sticks out of the plan's band.
+    ChannelOutOfBand {
+        /// Index of the offending channel in the checked list.
+        index: usize,
+    },
+    /// Sub-channels `a` and `b` overlap.
+    ChannelsOverlap {
+        /// First overlapping channel.
+        a: usize,
+        /// Second overlapping channel.
+        b: usize,
+    },
+}
+
+impl std::fmt::Display for BandPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BandPlanError::NonFiniteBand => write!(f, "band edges must be finite"),
+            BandPlanError::EmptyBand => write!(f, "band high edge must exceed its low edge"),
+            BandPlanError::BadGuard => write!(f, "guard must be finite and non-negative"),
+            BandPlanError::ChannelOutOfBand { index } => {
+                write!(f, "sub-channel {index} sticks out of the band")
+            }
+            BandPlanError::ChannelsOverlap { a, b } => {
+                write!(f, "sub-channels {a} and {b} overlap")
+            }
+        }
+    }
+}
+
 impl BandPlan {
-    /// Creates a plan over `band` with a `guard` between channels.
-    pub fn new(band: Band, guard: Hertz) -> Self {
-        assert!(guard.hz() >= 0.0, "negative guard");
-        BandPlan {
+    /// Creates a plan over `band` with a `guard` between channels,
+    /// validating both. Bad plans used to be accepted silently (only a
+    /// negative guard asserted); now every constructor funnels through
+    /// this typed check.
+    pub fn checked(band: Band, guard: Hertz) -> Result<Self, BandPlanError> {
+        if !band.low.hz().is_finite() || !band.high.hz().is_finite() {
+            return Err(BandPlanError::NonFiniteBand);
+        }
+        if band.high.hz() <= band.low.hz() {
+            return Err(BandPlanError::EmptyBand);
+        }
+        if !guard.hz().is_finite() || guard.hz() < 0.0 {
+            return Err(BandPlanError::BadGuard);
+        }
+        Ok(BandPlan {
             band,
             guard,
             rolloff: 0.25,
             min_channel: Hertz::from_mhz(1.0),
+        })
+    }
+
+    /// Creates a plan over `band` with a `guard` between channels.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid band or guard — use [`BandPlan::checked`] when the
+    /// inputs are not compile-time constants.
+    pub fn new(band: Band, guard: Hertz) -> Self {
+        match Self::checked(band, guard) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid band plan: {e}"),
         }
+    }
+
+    /// Checks that a channelization fits this plan: every sub-channel
+    /// inside the band, no two overlapping. The allocator upholds this
+    /// by construction; externally supplied tables (the multi-AP reuse
+    /// plan's global channel grid, hand-built plans in tests) go
+    /// through here.
+    pub fn validate_channels(&self, channels: &[ChannelAssignment]) -> Result<(), BandPlanError> {
+        for (i, c) in channels.iter().enumerate() {
+            if !self.band.contains_band(&c.band()) {
+                return Err(BandPlanError::ChannelOutOfBand { index: i });
+            }
+            for (j, d) in channels.iter().enumerate().skip(i + 1) {
+                if c.band().overlaps(&d.band()) {
+                    return Err(BandPlanError::ChannelsOverlap { a: i, b: j });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The equal-width channel grid that [`Self::capacity`] counts:
+    /// `capacity(width)` channels of `width`, guard-separated, packed
+    /// low-to-high. This is the global channel table the multi-AP reuse
+    /// plan partitions across APs.
+    pub fn channel_table(&self, width: Hertz) -> Vec<ChannelAssignment> {
+        let n = self.capacity(width);
+        (0..n)
+            .map(|i| ChannelAssignment {
+                center: self.band.low + (width + self.guard) * i as f64 + width / 2.0,
+                width,
+            })
+            .collect()
     }
 
     /// The 24 GHz ISM plan used by the prototype: 250 MHz with 1 MHz
@@ -215,5 +314,75 @@ mod tests {
     fn empty_demand_list_is_fine() {
         let plan = BandPlan::ism_24ghz();
         assert!(plan.allocate(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn checked_rejects_bad_plans_with_typed_errors() {
+        let ism = Band::ism_24ghz();
+        let err = |b, g| BandPlan::checked(b, g).unwrap_err();
+        assert_eq!(
+            err(
+                Band {
+                    low: ism.high,
+                    high: ism.low
+                },
+                Hertz::from_mhz(1.0)
+            ),
+            BandPlanError::EmptyBand
+        );
+        assert_eq!(err(ism, Hertz::new(-1.0)), BandPlanError::BadGuard);
+        assert_eq!(err(ism, Hertz::new(f64::NAN)), BandPlanError::BadGuard);
+        assert_eq!(
+            err(
+                Band {
+                    low: Hertz::new(f64::NEG_INFINITY),
+                    high: ism.high
+                },
+                Hertz::from_mhz(1.0)
+            ),
+            BandPlanError::NonFiniteBand
+        );
+        assert!(BandPlan::checked(ism, Hertz::from_mhz(1.0)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid band plan")]
+    fn new_panics_on_inverted_band() {
+        let ism = Band::ism_24ghz();
+        let _ = BandPlan::new(
+            Band {
+                low: ism.high,
+                high: ism.low,
+            },
+            Hertz::new(0.0),
+        );
+    }
+
+    #[test]
+    fn channel_table_matches_capacity_and_validates() {
+        let plan = BandPlan::ism_24ghz();
+        let w = Hertz::from_mhz(25.0);
+        let table = plan.channel_table(w);
+        assert_eq!(table.len(), plan.capacity(w));
+        plan.validate_channels(&table).expect("grid is well-formed");
+    }
+
+    #[test]
+    fn validate_channels_catches_overlap_and_out_of_band() {
+        let plan = BandPlan::ism_24ghz();
+        let w = Hertz::from_mhz(25.0);
+        let mut table = plan.channel_table(w);
+        // Slide channel 1 onto channel 0.
+        table[1].center = table[0].center;
+        assert_eq!(
+            plan.validate_channels(&table),
+            Err(BandPlanError::ChannelsOverlap { a: 0, b: 1 })
+        );
+        let mut table = plan.channel_table(w);
+        table[2].center = plan.band().high + Hertz::from_mhz(5.0);
+        assert_eq!(
+            plan.validate_channels(&table),
+            Err(BandPlanError::ChannelOutOfBand { index: 2 })
+        );
     }
 }

@@ -4,6 +4,12 @@
 //! TMA harmonics (the 20–30 dB-down copies of Eq. 4), (b) adjacent-channel
 //! leakage of OOK spectra, and (c) thermal noise. Fig. 13's "SNR slightly
 //! decreases" with node count is exactly these terms growing.
+//!
+//! Under multiple APs ([`crate::multi_ap`]) a fourth term appears:
+//! co-channel uplinks *served by other APs* still arrive at this AP's
+//! antenna and leak through its TMA sidelobes. [`sinr_at_ap`] accounts
+//! for all four with global channel indices, so cross-AP interference
+//! falls out of the same arithmetic as intra-AP interference.
 
 use crate::sdm::SdmSlot;
 use mmx_antenna::tma::HarmonicGain;
@@ -71,6 +77,44 @@ pub fn sinr_all(
             wanted - DbmPower::power_sum(terms)
         })
         .collect()
+}
+
+/// SINR of node `me` at one AP of a multi-AP deployment.
+///
+/// Every node in the deployment — not just this AP's members —
+/// contributes an interference term: `rx_of(j)` is node `j`'s arrival
+/// power *at this AP's antenna*, `aoa_of(j)` its arrival angle there,
+/// and `slots[j].channel` a **global** channel index from the shared
+/// [`crate::multi_ap::HarmonicReusePlan`] grid. Co-channel reuse
+/// between APs whose coverage cones the plan judged disjoint therefore
+/// shows up here as an ordinary (weak, because distant and in the
+/// sidelobes) interference term rather than as a special case — and a
+/// bad reuse plan shows up as collapsed SINR instead of being silently
+/// ignored.
+///
+/// The accessor-closure shape mirrors the single-AP engine's
+/// `sinr_from`: the hot path substitutes a freshly traced power for the
+/// transmitting node while reading everyone else from the frozen batch
+/// snapshot, without building a per-packet `Vec`.
+#[allow(clippy::too_many_arguments)]
+pub fn sinr_at_ap(
+    tma: &impl HarmonicGain,
+    noise_figure: Db,
+    bandwidth: Hertz,
+    me: usize,
+    nodes: usize,
+    slots: &[SdmSlot],
+    rx_of: impl Fn(usize) -> DbmPower,
+    aoa_of: impl Fn(usize) -> Degrees,
+) -> Db {
+    let noise = thermal_noise_dbm(bandwidth, noise_figure);
+    let wanted = rx_of(me) + tma.harmonic_gain(slots[me].harmonic, aoa_of(me));
+    let interference = (0..nodes).filter(|&j| j != me).map(|j| {
+        let gain = tma.harmonic_gain(slots[me].harmonic, aoa_of(j));
+        let acl = adjacent_channel_leakage(slots[me].channel.abs_diff(slots[j].channel));
+        rx_of(j) + gain + acl
+    });
+    wanted - DbmPower::power_sum(std::iter::once(noise).chain(interference))
 }
 
 #[cfg(test)]
@@ -213,6 +257,70 @@ mod tests {
             );
         }
         assert_eq!(adjacent_channel_leakage(0), Db::ZERO);
+    }
+
+    #[test]
+    fn cross_ap_cochannel_interference_is_counted() {
+        // Two nodes on the same global channel, "served" by different
+        // APs: from this AP's perspective the foreign node is just an
+        // interference term. Same direction → collision; a distant
+        // harmonic direction → barely any loss. Exactly `sinr_all`'s
+        // physics, but through the multi-AP accessor entry point.
+        let t = tma();
+        let d0 = t.harmonic_direction(0).unwrap();
+        let d3 = t.harmonic_direction(3).unwrap();
+        let slots = [slot(0, 0), slot(0, 0)];
+        let rx = [DbmPower::new(-60.0), DbmPower::new(-60.0)];
+        let collide = sinr_at_ap(&t, nf(), bw(), 0, 2, &slots, |j| rx[j], |_| d0);
+        let aoa = [d0, d3];
+        let separated = sinr_at_ap(&t, nf(), bw(), 0, 2, &slots, |j| rx[j], |j| aoa[j]);
+        assert!(collide.value() < 3.0, "co-beam co-channel: {collide}");
+        assert!(
+            separated.value() > 20.0,
+            "cross-beam co-channel: {separated}"
+        );
+        // Moving the foreign node to a distant channel restores the
+        // link even co-beam (the reuse plan's channel partition case).
+        let slots = [slot(0, 0), slot(3, 0)];
+        let far = sinr_at_ap(&t, nf(), bw(), 0, 2, &slots, |j| rx[j], |_| d0);
+        assert!(far > collide);
+    }
+
+    #[test]
+    fn sinr_at_ap_matches_single_ap_engine_shape() {
+        // With every node served by one AP, sinr_at_ap degenerates to
+        // the single-AP formula (sinr_all modulo its noise-gain tweak).
+        let t = tma();
+        let ups = [
+            Uplink {
+                rx_power: DbmPower::new(-60.0),
+                aoa: t.harmonic_direction(0).unwrap(),
+                slot: slot(0, 0),
+            },
+            Uplink {
+                rx_power: DbmPower::new(-58.0),
+                aoa: t.harmonic_direction(2).unwrap() + Degrees::new(2.0),
+                slot: slot(1, 2),
+            },
+        ];
+        let slots: Vec<SdmSlot> = ups.iter().map(|u| u.slot).collect();
+        let all = sinr_all(&t, &ups, bw(), nf());
+        for (i, all_i) in all.iter().enumerate() {
+            let one = sinr_at_ap(
+                &t,
+                nf(),
+                bw(),
+                i,
+                ups.len(),
+                &slots,
+                |j| ups[j].rx_power,
+                |j| ups[j].aoa,
+            );
+            assert!(
+                (one.value() - all_i.value()).abs() < 1.5,
+                "node {i}: {one} vs {all_i}"
+            );
+        }
     }
 
     #[test]

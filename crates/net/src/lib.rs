@@ -31,6 +31,9 @@
 //! * [`pool`] / [`streams`] — the intra-sim worker pool and per-node
 //!   RNG streams behind the gather→commit phase-parallel event loop
 //!   (DESIGN.md §9).
+//! * [`multi_ap`] — cross-AP coordination: coverage-aware channel
+//!   reuse planning, the epoch-stamped slot arbiter, roaming handoff
+//!   and the multi-cell simulator (DESIGN.md §10).
 
 pub mod ap;
 pub mod arq;
@@ -41,12 +44,14 @@ pub mod faults;
 pub mod fdm;
 pub mod interference;
 pub mod link;
+pub mod multi_ap;
 pub mod node;
 pub mod pool;
 pub mod sdm;
 pub mod sim;
 pub mod streams;
 
+pub use ap::ApId;
 pub use event::{EventQueue, ScheduleError};
 pub use faults::{FaultConfig, FaultInjector};
 pub use fdm::{BandPlan, ChannelAssignment};

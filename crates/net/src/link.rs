@@ -1,13 +1,15 @@
 //! The node-side control-link state machine and retransmit backoff.
 //!
-//! A node's relationship to the AP moves through five states:
+//! A node's relationship to the AP moves through six states:
 //!
 //! ```text
 //! Idle ──join──▶ Joining ──grant──▶ Granted ──K low-SINR pkts──▶ Outage
 //!   ▲                                  │  ▲                        │
 //!   └────────── crash ─────────────────┘  └──grant── Rejoining ◀───┘
-//!                                              ▲        (also after
-//!                                              └─reject─  AP restart)
+//!                                      │  ▲             ▲ (also after
+//!                            better AP │  │ transfer    └─reject─
+//!                                      ▼  │ grant          AP restart)
+//!                                   Handoff { from, to }
 //! ```
 //!
 //! The machine is pure bookkeeping — it decides *what* the node should
@@ -17,7 +19,16 @@
 //! newest one the node has seen is stale (reordered or duplicated on
 //! the control plane) and is discarded, so FDM re-packing can never
 //! strand the node on an outdated center frequency.
+//!
+//! `Handoff { from, to }` is the multi-AP roaming state
+//! (`mmx_net::multi_ap`): per-packet SINR margin hysteresis asks the
+//! coordinator to move the node's grant to a better AP, and the node
+//! keeps streaming to `from` — make-before-break — until a
+//! *fresh-epoch* transfer grant from `to` arrives. The monotonic epoch
+//! watermark is what makes the break safe: at most one AP's grant is
+//! current, so a packet can never be counted delivered at two APs.
 
+use crate::ap::ApId;
 use mmx_units::Seconds;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +47,14 @@ pub enum LinkState {
     /// Lost the lease (crash reboot, AP restart, or outage) and
     /// re-requesting admission.
     Rejoining,
+    /// Roaming: still streaming to `from` while the coordinator moves
+    /// the grant to `to` (make-before-break, `mmx_net::multi_ap`).
+    Handoff {
+        /// The serving AP the node keeps streaming to meanwhile.
+        from: ApId,
+        /// The AP the grant is being transferred to.
+        to: ApId,
+    },
 }
 
 /// Exponential backoff with deterministic jitter for control
@@ -95,6 +114,10 @@ pub struct NodeLink {
     low_sinr_run: u32,
     /// Stale (reordered or duplicated) grants discarded so far.
     stale_discarded: u64,
+    /// The AP currently serving this node (always `ap0` under one AP).
+    serving: ApId,
+    /// Completed handoffs.
+    handoffs: u64,
 }
 
 /// What the state machine asks the simulator to do after an input.
@@ -106,6 +129,9 @@ pub enum LinkAction {
     SendJoin,
     /// Send a `GrantAck` and begin/resume streaming.
     AckGrant,
+    /// Ask the coordinator to transfer the grant to a better AP
+    /// (`mmx_net::multi_ap`).
+    SendTransfer,
 }
 
 impl NodeLink {
@@ -119,6 +145,8 @@ impl NodeLink {
             episode_start: None,
             low_sinr_run: 0,
             stale_discarded: 0,
+            serving: ApId::default(),
+            handoffs: 0,
         }
     }
 
@@ -147,10 +175,30 @@ impl NodeLink {
         self.stale_discarded
     }
 
+    /// The AP currently serving this node.
+    pub fn serving(&self) -> ApId {
+        self.serving
+    }
+
+    /// Completed grant transfers.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Pins the serving AP at initial association (before the first
+    /// handoff; the transfer path updates it from then on).
+    pub fn set_serving(&mut self, ap: ApId) {
+        self.serving = ap;
+    }
+
     /// True while the node should be transmitting data packets
-    /// (Granted, or Outage on the FSK fallback).
+    /// (Granted, Outage on the FSK fallback, or mid-handoff — the
+    /// make-before-break window keeps the uplink on air).
     pub fn is_streaming(&self) -> bool {
-        matches!(self.state, LinkState::Granted | LinkState::Outage)
+        matches!(
+            self.state,
+            LinkState::Granted | LinkState::Outage | LinkState::Handoff { .. }
+        )
     }
 
     /// The node wakes up (at `active_from` or on reboot) and starts the
@@ -222,6 +270,14 @@ impl NodeLink {
             }
             // Stay in the fallback until the channel itself heals.
             LinkState::Outage => (LinkAction::AckGrant, None),
+            // A fresh grant from the *serving* AP supersedes an
+            // in-flight transfer: abort the handoff and stay home.
+            LinkState::Handoff { .. } => {
+                self.state = LinkState::Granted;
+                self.attempt = 0;
+                self.episode_start = None;
+                (LinkAction::AckGrant, None)
+            }
         }
     }
 
@@ -238,6 +294,90 @@ impl NodeLink {
             }
             LinkState::Joining | LinkState::Rejoining => LinkAction::None,
             LinkState::Idle => LinkAction::None,
+            // The *target* AP denied the transfer (admission full):
+            // abort the handoff and keep the current grant — the node
+            // never stopped streaming to `from`.
+            LinkState::Handoff { .. } => {
+                self.abort_handoff();
+                LinkAction::None
+            }
+        }
+    }
+
+    /// Starts a make-before-break handoff toward `to`. Only a cleanly
+    /// granted node roams (an outage wants re-admission, not a move);
+    /// the returned action asks the simulator to send an epoch-stamped
+    /// `ApMsg::Transfer` through the serving AP.
+    pub fn begin_handoff(&mut self, to: ApId, now: Seconds) -> LinkAction {
+        match self.state {
+            LinkState::Granted if to != self.serving => {
+                self.state = LinkState::Handoff {
+                    from: self.serving,
+                    to,
+                };
+                self.attempt = 0;
+                self.episode_start = Some(now);
+                LinkAction::SendTransfer
+            }
+            _ => LinkAction::None,
+        }
+    }
+
+    /// A transfer retransmit timer for attempt `attempt` fired. Stale
+    /// timers (superseded attempt, or the handoff already resolved) are
+    /// ignored, mirroring [`Self::retry_join`].
+    pub fn retry_transfer(&mut self, attempt: u32) -> LinkAction {
+        if !matches!(self.state, LinkState::Handoff { .. }) || attempt != self.attempt {
+            return LinkAction::None;
+        }
+        self.attempt += 1;
+        LinkAction::SendTransfer
+    }
+
+    /// A transfer grant from AP `to` with `epoch` for `center_hz`
+    /// arrived. Stale epochs are discarded (the monotonic watermark is
+    /// what guarantees at most one AP holds a current grant — the
+    /// zero-duplicate-delivery invariant). A fresh epoch completes the
+    /// handoff: the node retunes, switches its serving AP and reports
+    /// how long the transfer took. A fresh transfer grant arriving
+    /// *outside* a matching handoff (the node aborted meanwhile) only
+    /// advances the watermark, exactly like
+    /// [`Self::on_grant`] for a crashed node.
+    pub fn on_transfer_grant(
+        &mut self,
+        epoch: u64,
+        center_hz: f64,
+        to: ApId,
+        now: Seconds,
+    ) -> (LinkAction, Option<Seconds>) {
+        if epoch <= self.epoch_seen {
+            self.stale_discarded += 1;
+            return (LinkAction::None, None);
+        }
+        self.epoch_seen = epoch;
+        match self.state {
+            LinkState::Handoff { to: expected, .. } if expected == to => {
+                self.center_hz = center_hz;
+                self.serving = to;
+                self.state = LinkState::Granted;
+                self.attempt = 0;
+                self.low_sinr_run = 0;
+                self.handoffs += 1;
+                let took = self.episode_start.take().map(|t0| now - t0);
+                (LinkAction::AckGrant, took)
+            }
+            _ => (LinkAction::None, None),
+        }
+    }
+
+    /// Gives up on an in-flight handoff (transfer retries exhausted):
+    /// back to Granted on the unchanged serving AP. The break never
+    /// happened, so nothing else to undo. No-op outside Handoff.
+    pub fn abort_handoff(&mut self) {
+        if matches!(self.state, LinkState::Handoff { .. }) {
+            self.state = LinkState::Granted;
+            self.attempt = 0;
+            self.episode_start = None;
         }
     }
 
@@ -435,6 +575,125 @@ mod tests {
         assert!(jittered < Seconds::from_millis(90.1));
         // Deterministic: same inputs, same delay.
         assert_eq!(b.delay(3, 0.5), b.delay(3, 0.5));
+    }
+
+    fn granted_link(serving: ApId) -> NodeLink {
+        let mut l = NodeLink::new();
+        l.set_serving(serving);
+        l.start_join(Seconds::ZERO);
+        l.on_grant(1, 24.05e9, Seconds::ZERO);
+        l
+    }
+
+    #[test]
+    fn handoff_happy_path_transfers_the_grant() {
+        let mut l = granted_link(ApId(0));
+        assert_eq!(
+            l.begin_handoff(ApId(1), Seconds::new(1.0)),
+            LinkAction::SendTransfer
+        );
+        assert_eq!(
+            l.state(),
+            LinkState::Handoff {
+                from: ApId(0),
+                to: ApId(1)
+            }
+        );
+        assert!(l.is_streaming(), "make-before-break keeps the uplink up");
+        assert_eq!(l.serving(), ApId(0), "still served by `from` mid-handoff");
+        let (act, took) = l.on_transfer_grant(2, 24.08e9, ApId(1), Seconds::new(1.03));
+        assert_eq!(act, LinkAction::AckGrant);
+        assert!((took.unwrap().value() - 0.03).abs() < 1e-12);
+        assert_eq!(l.state(), LinkState::Granted);
+        assert_eq!(l.serving(), ApId(1));
+        assert_eq!(l.center_hz(), 24.08e9);
+        assert_eq!(l.handoffs(), 1);
+    }
+
+    #[test]
+    fn stale_transfer_grant_is_discarded() {
+        let mut l = granted_link(ApId(0));
+        l.begin_handoff(ApId(1), Seconds::new(1.0));
+        // A duplicate of the original grant epoch: stale.
+        let (act, _) = l.on_transfer_grant(1, 24.08e9, ApId(1), Seconds::new(1.1));
+        assert_eq!(act, LinkAction::None);
+        assert_eq!(l.serving(), ApId(0));
+        assert_eq!(l.stale_discarded(), 1);
+        // The real (fresh) grant still completes.
+        let (act, _) = l.on_transfer_grant(2, 24.08e9, ApId(1), Seconds::new(1.2));
+        assert_eq!(act, LinkAction::AckGrant);
+        assert_eq!(l.serving(), ApId(1));
+    }
+
+    #[test]
+    fn handoff_to_serving_ap_is_refused() {
+        let mut l = granted_link(ApId(2));
+        assert_eq!(l.begin_handoff(ApId(2), Seconds::ZERO), LinkAction::None);
+        assert_eq!(l.state(), LinkState::Granted);
+    }
+
+    #[test]
+    fn transfer_retries_mirror_join_retries() {
+        let mut l = granted_link(ApId(0));
+        l.begin_handoff(ApId(1), Seconds::ZERO);
+        assert_eq!(l.retry_transfer(0), LinkAction::SendTransfer);
+        assert_eq!(l.retry_transfer(0), LinkAction::None, "stale timer");
+        assert_eq!(l.retry_transfer(1), LinkAction::SendTransfer);
+        l.abort_handoff();
+        assert_eq!(l.state(), LinkState::Granted);
+        assert_eq!(l.serving(), ApId(0), "abort keeps the old AP");
+        assert_eq!(l.retry_transfer(2), LinkAction::None);
+        assert_eq!(l.handoffs(), 0);
+    }
+
+    #[test]
+    fn late_transfer_grant_after_abort_only_moves_the_watermark() {
+        let mut l = granted_link(ApId(0));
+        l.begin_handoff(ApId(1), Seconds::ZERO);
+        l.abort_handoff();
+        let (act, took) = l.on_transfer_grant(5, 24.09e9, ApId(1), Seconds::new(2.0));
+        assert_eq!(act, LinkAction::None);
+        assert!(took.is_none());
+        assert_eq!(l.serving(), ApId(0));
+        assert_eq!(l.epoch_seen(), 5, "watermark advances so older grants die");
+    }
+
+    #[test]
+    fn serving_ap_grant_aborts_the_handoff() {
+        let mut l = granted_link(ApId(0));
+        l.begin_handoff(ApId(1), Seconds::ZERO);
+        // A re-pack grant from the serving AP supersedes the transfer.
+        let (act, _) = l.on_grant(7, 24.11e9, Seconds::new(0.1));
+        assert_eq!(act, LinkAction::AckGrant);
+        assert_eq!(l.state(), LinkState::Granted);
+        assert_eq!(l.serving(), ApId(0));
+    }
+
+    #[test]
+    fn reject_mid_handoff_keeps_the_old_grant() {
+        let mut l = granted_link(ApId(0));
+        l.begin_handoff(ApId(1), Seconds::ZERO);
+        assert_eq!(l.on_reject(Seconds::new(0.1)), LinkAction::None);
+        assert_eq!(l.state(), LinkState::Granted);
+        assert_eq!(l.serving(), ApId(0));
+        assert!(l.is_streaming());
+    }
+
+    #[test]
+    fn outage_cannot_start_a_handoff_and_handoff_cannot_outage() {
+        let mut l = granted_link(ApId(0));
+        for _ in 0..8 {
+            l.on_packet_sinr(false, 8, Seconds::ZERO);
+        }
+        assert_eq!(l.state(), LinkState::Outage);
+        assert_eq!(l.begin_handoff(ApId(1), Seconds::ZERO), LinkAction::None);
+        // And from a fresh handoff, bad packets do not demote to Outage.
+        let mut l = granted_link(ApId(0));
+        l.begin_handoff(ApId(1), Seconds::ZERO);
+        for _ in 0..20 {
+            l.on_packet_sinr(false, 8, Seconds::ZERO);
+        }
+        assert!(matches!(l.state(), LinkState::Handoff { .. }));
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Geometry-aware (channel × harmonic) slot partitioning across APs.
+//!
+//! Each AP's TMA already multiplexes its own field of view by harmonic
+//! (`mmx_net::sdm`); what several APs share is the **frequency** axis:
+//! the global equal-width channel grid carved out of the 24 GHz ISM
+//! band ([`crate::fdm::BandPlan::channel_table`]). Two APs may reuse
+//! the same channels only when their coverage cones do not overlap at
+//! the interference threshold — a node standing in both cones would
+//! otherwise arrive co-channel and (possibly) co-beam at one of them.
+//!
+//! The plan builds the cone-overlap conflict graph, colors it greedily
+//! in AP-id order (deterministic: no RNG, no hashing), and deals the
+//! channel grid round-robin across colors. Disjoint deployments get
+//! full reuse (every AP sees every channel); a clique degenerates to a
+//! static split.
+
+use crate::ap::ApId;
+use mmx_channel::response::Pose;
+use mmx_channel::Vec2;
+use mmx_units::Degrees;
+
+/// Number of chords used to polygonize a coverage cone's arc for the
+/// exact convex-overlap test. The polygon is inscribed, so the test is
+/// marginally conservative toward "disjoint" — two cones grazing each
+/// other within the chord sagitta (< 1 cm at 8 m range) may be judged
+/// reusable, which errs on the aggressive-reuse side the sweep then
+/// measures honestly via [`crate::interference::sinr_at_ap`].
+const ARC_CHORDS: usize = 16;
+
+/// One AP's coverage cone: everything within `range_m` of the apex and
+/// `half_angle` of the facing. The interference threshold is baked into
+/// `range_m` — the distance at which this AP's nodes drop below the
+/// co-channel interference floor of a neighbor.
+#[derive(Debug, Clone, Copy)]
+pub struct ApCoverage {
+    /// Apex position and facing.
+    pub pose: Pose,
+    /// Half-opening angle of the cone (≤ 90° keeps it convex).
+    pub half_angle: Degrees,
+    /// Radius of the cone.
+    pub range_m: f64,
+}
+
+impl ApCoverage {
+    /// A cone from an AP pose with the given geometry.
+    pub fn new(pose: Pose, half_angle: Degrees, range_m: f64) -> Self {
+        debug_assert!(half_angle.value() > 0.0 && half_angle.value() <= 90.0);
+        debug_assert!(range_m > 0.0);
+        ApCoverage {
+            pose,
+            half_angle,
+            range_m,
+        }
+    }
+
+    /// Whether point `p` lies inside the cone.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let v = p - self.pose.position;
+        let d = self.pose.position.distance(p);
+        if d > self.range_m {
+            return false;
+        }
+        if d < 1e-9 {
+            return true;
+        }
+        (v.bearing() - self.pose.facing).wrapped().value().abs() <= self.half_angle.value()
+    }
+
+    /// The cone as a convex polygon: apex plus an inscribed arc
+    /// polyline.
+    fn polygon(&self) -> Vec<Vec2> {
+        let mut pts = Vec::with_capacity(ARC_CHORDS + 2);
+        pts.push(self.pose.position);
+        let a0 = self.pose.facing.value() - self.half_angle.value();
+        let a1 = self.pose.facing.value() + self.half_angle.value();
+        for k in 0..=ARC_CHORDS {
+            let a = a0 + (a1 - a0) * k as f64 / ARC_CHORDS as f64;
+            pts.push(self.pose.position + Vec2::from_bearing(Degrees::new(a)) * self.range_m);
+        }
+        pts
+    }
+
+    /// Whether two cones overlap, via the separating-axis test on their
+    /// polygonizations (both convex for `half_angle` ≤ 90°). Exact for
+    /// the polygons, deterministic, no RNG.
+    pub fn overlaps(&self, other: &ApCoverage) -> bool {
+        let a = self.polygon();
+        let b = other.polygon();
+        !has_separating_axis(&a, &b) && !has_separating_axis(&b, &a)
+    }
+}
+
+/// Tries every edge normal of `a` as a separating axis between convex
+/// polygons `a` and `b`.
+fn has_separating_axis(a: &[Vec2], b: &[Vec2]) -> bool {
+    for i in 0..a.len() {
+        let p = a[i];
+        let q = a[(i + 1) % a.len()];
+        let edge = q - p;
+        let normal = Vec2::new(-edge.y, edge.x);
+        let (a_min, a_max) = project(a, normal);
+        let (b_min, b_max) = project(b, normal);
+        if a_max < b_min || b_max < a_min {
+            return true;
+        }
+    }
+    false
+}
+
+fn project(poly: &[Vec2], axis: Vec2) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for p in poly {
+        let d = p.x * axis.x + p.y * axis.y;
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (lo, hi)
+}
+
+/// Why a reuse plan could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePlanError {
+    /// No APs.
+    NoAps,
+    /// The channel grid is empty.
+    NoChannels,
+    /// The conflict graph needs more colors than there are channels, so
+    /// some AP would be left with zero spectrum.
+    MoreColorsThanChannels {
+        /// Colors the greedy coloring used.
+        colors: usize,
+        /// Channels available.
+        channels: usize,
+    },
+}
+
+/// The deterministic multi-AP spectrum coordinator: which global
+/// channels each AP may schedule its members on.
+#[derive(Debug, Clone)]
+pub struct HarmonicReusePlan {
+    channels_of: Vec<Vec<usize>>,
+    colors: Vec<usize>,
+    num_colors: usize,
+    conflicts: Vec<Vec<bool>>,
+    capacity: usize,
+}
+
+impl HarmonicReusePlan {
+    /// Builds the plan for the given coverage cones over a global grid
+    /// of `channels` equal-width channels.
+    pub fn new(coverage: &[ApCoverage], channels: usize) -> Result<Self, ReusePlanError> {
+        if coverage.is_empty() {
+            return Err(ReusePlanError::NoAps);
+        }
+        if channels == 0 {
+            return Err(ReusePlanError::NoChannels);
+        }
+        let n = coverage.len();
+        let mut conflicts = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if coverage[i].overlaps(&coverage[j]) {
+                    conflicts[i][j] = true;
+                    conflicts[j][i] = true;
+                }
+            }
+        }
+        // Greedy coloring in AP-id order: smallest color absent among
+        // already-colored conflicting neighbors.
+        let mut colors = vec![0usize; n];
+        for i in 0..n {
+            let mut used = vec![false; n];
+            for j in 0..i {
+                if conflicts[i][j] {
+                    used[colors[j]] = true;
+                }
+            }
+            colors[i] = (0..n).find(|&c| !used[c]).expect("n colors always suffice");
+        }
+        let num_colors = colors.iter().max().copied().unwrap_or(0) + 1;
+        if num_colors > channels {
+            return Err(ReusePlanError::MoreColorsThanChannels {
+                colors: num_colors,
+                channels,
+            });
+        }
+        // Deal the grid round-robin across color classes: channel c
+        // belongs to color (c mod num_colors). Conflicting APs land in
+        // different classes, so their channel sets are disjoint;
+        // non-conflicting APs sharing a color reuse freely.
+        let channels_of = colors
+            .iter()
+            .map(|&col| (0..channels).filter(|c| c % num_colors == col).collect())
+            .collect();
+        Ok(HarmonicReusePlan {
+            channels_of,
+            colors,
+            num_colors,
+            conflicts,
+            capacity: channels,
+        })
+    }
+
+    /// The global channel indices AP `ap` may use.
+    pub fn channels_of(&self, ap: ApId) -> &[usize] {
+        &self.channels_of[ap.index()]
+    }
+
+    /// The color class of AP `ap`.
+    pub fn color_of(&self, ap: ApId) -> usize {
+        self.colors[ap.index()]
+    }
+
+    /// Number of color classes the conflict graph needed.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Whether APs `a` and `b` have overlapping coverage (and therefore
+    /// disjoint channel sets).
+    pub fn conflicts(&self, a: ApId, b: ApId) -> bool {
+        self.conflicts[a.index()][b.index()]
+    }
+
+    /// Size of the global channel grid.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Aggregate frequency reuse: total channel-grants across APs
+    /// divided by the grid size. 1.0 = a pure static split (clique);
+    /// N = full reuse by N mutually disjoint APs.
+    pub fn reuse_gain(&self) -> f64 {
+        let total: usize = self.channels_of.iter().map(Vec::len).sum();
+        total as f64 / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cone(x: f64, y: f64, facing: f64) -> ApCoverage {
+        ApCoverage::new(
+            Pose::new(Vec2::new(x, y), Degrees::new(facing)),
+            Degrees::new(50.0),
+            3.0,
+        )
+    }
+
+    #[test]
+    fn contains_respects_range_and_angle() {
+        // Facing 270° = toward −y (bearing 90° is +y).
+        let c = cone(2.0, 4.0, 270.0);
+        assert!(c.contains(Vec2::new(2.0, 2.0)));
+        assert!(!c.contains(Vec2::new(2.0, 0.5)), "beyond range");
+        assert!(!c.contains(Vec2::new(5.5, 4.0)), "outside the cone angle");
+        assert!(c.contains(c.pose.position), "apex is inside");
+    }
+
+    #[test]
+    fn distant_parallel_cones_do_not_overlap() {
+        let a = cone(2.0, 4.0, 270.0);
+        let b = cone(10.0, 4.0, 270.0);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    fn facing_cones_overlap() {
+        let a = cone(2.0, 2.0, 0.0); // toward +x
+        let b = cone(6.0, 2.0, 180.0); // toward −x
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn nested_cone_is_an_overlap() {
+        let big = ApCoverage::new(
+            Pose::new(Vec2::new(0.0, 0.0), Degrees::new(0.0)),
+            Degrees::new(60.0),
+            8.0,
+        );
+        let small = ApCoverage::new(
+            Pose::new(Vec2::new(3.0, 0.0), Degrees::new(0.0)),
+            Degrees::new(20.0),
+            1.0,
+        );
+        assert!(big.overlaps(&small), "containment without apex-sharing");
+        assert!(small.overlaps(&big));
+    }
+
+    #[test]
+    fn disjoint_aps_get_full_reuse() {
+        let cones = [cone(2.0, 4.0, 270.0), cone(10.0, 4.0, 270.0)];
+        let plan = HarmonicReusePlan::new(&cones, 10).expect("plans");
+        assert_eq!(plan.num_colors(), 1);
+        assert_eq!(plan.channels_of(ApId(0)).len(), 10);
+        assert_eq!(plan.channels_of(ApId(1)).len(), 10);
+        assert!(!plan.conflicts(ApId(0), ApId(1)));
+        assert!((plan.reuse_gain() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_aps_split_the_grid_disjointly() {
+        let cones = [cone(2.0, 2.0, 0.0), cone(6.0, 2.0, 180.0)];
+        let plan = HarmonicReusePlan::new(&cones, 10).expect("plans");
+        assert_eq!(plan.num_colors(), 2);
+        assert!(plan.conflicts(ApId(0), ApId(1)));
+        let a = plan.channels_of(ApId(0));
+        let b = plan.channels_of(ApId(1));
+        assert_eq!(a.len() + b.len(), 10);
+        for c in a {
+            assert!(!b.contains(c), "conflicting APs share channel {c}");
+        }
+        assert!((plan.reuse_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corridor_of_four_alternates_colors() {
+        // Four cones along a wall, adjacent ones overlapping: a path
+        // graph, 2-colorable, so reuse gain = 2 with 4 APs.
+        let cones: Vec<ApCoverage> = (0..4)
+            .map(|k| cone(2.0 + 3.5 * k as f64, 4.0, 270.0))
+            .collect();
+        let plan = HarmonicReusePlan::new(&cones, 8).expect("plans");
+        assert!(plan.conflicts(ApId(0), ApId(1)));
+        assert!(!plan.conflicts(ApId(0), ApId(2)));
+        assert_eq!(plan.num_colors(), 2);
+        assert_eq!(plan.color_of(ApId(0)), plan.color_of(ApId(2)));
+        assert_ne!(plan.color_of(ApId(0)), plan.color_of(ApId(1)));
+        assert!((plan.reuse_gain() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        assert_eq!(
+            HarmonicReusePlan::new(&[], 4).unwrap_err(),
+            ReusePlanError::NoAps
+        );
+        assert_eq!(
+            HarmonicReusePlan::new(&[cone(0.0, 0.0, 0.0)], 0).unwrap_err(),
+            ReusePlanError::NoChannels
+        );
+        // Three co-located cones overlap pairwise: a 3-clique needs 3
+        // colors, and 2 channels cannot cover them.
+        let clique = [
+            cone(2.0, 2.0, 0.0),
+            cone(2.0, 2.0, 0.0),
+            cone(2.0, 2.0, 0.0),
+        ];
+        assert_eq!(
+            HarmonicReusePlan::new(&clique, 2).unwrap_err(),
+            ReusePlanError::MoreColorsThanChannels {
+                colors: 3,
+                channels: 2
+            }
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let cones: Vec<ApCoverage> = (0..6).map(|k| cone(1.5 * k as f64, 4.0, 270.0)).collect();
+        let a = HarmonicReusePlan::new(&cones, 12).expect("plans");
+        let b = HarmonicReusePlan::new(&cones, 12).expect("plans");
+        for k in 0..6u16 {
+            assert_eq!(a.channels_of(ApId(k)), b.channels_of(ApId(k)));
+        }
+    }
+}

@@ -37,14 +37,16 @@ use std::sync::Arc;
 const MAX_BATCH: usize = 4096;
 
 /// Static tag for a link state, used in `fsm` trace events and
-/// `fsm_time_in_state_s` gauge labels.
-fn state_name(s: LinkState) -> &'static str {
+/// `fsm_time_in_state_s` gauge labels (shared with the multi-AP
+/// engine's trace, which is where `Handoff` actually occurs).
+pub(crate) fn state_name(s: LinkState) -> &'static str {
     match s {
         LinkState::Idle => "Idle",
         LinkState::Joining => "Joining",
         LinkState::Granted => "Granted",
         LinkState::Outage => "Outage",
         LinkState::Rejoining => "Rejoining",
+        LinkState::Handoff { .. } => "Handoff",
     }
 }
 

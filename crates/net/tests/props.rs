@@ -8,6 +8,7 @@ use mmx_net::ap::ApStation;
 use mmx_net::control::Admission;
 use mmx_net::fdm::{BandPlan, ChannelAssignment};
 use mmx_net::interference::adjacent_channel_leakage;
+use mmx_net::link::Backoff;
 use mmx_net::node::NodeStation;
 use mmx_net::sdm::{SdmScheduler, SdmSlot};
 use mmx_net::sim::{
@@ -118,6 +119,36 @@ proptest! {
         prop_assert_eq!(chans.len(), n);
     }
 
+    /// For a fixed jitter draw the retransmit delay never shrinks as
+    /// the attempt count grows, never undercuts the base timeout, and
+    /// never exceeds the cap plus its jitter allowance — for any
+    /// policy, not just [`Backoff::standard`].
+    #[test]
+    fn backoff_delay_monotone_and_capped(
+        base_ms in 1.0f64..200.0,
+        max_ms in 200.0f64..2000.0,
+        jitter_frac in 0.0f64..1.0,
+        u in 0.0f64..1.0,
+        attempts in 1u32..40,
+    ) {
+        let b = Backoff {
+            base: Seconds::from_millis(base_ms),
+            max: Seconds::from_millis(max_ms),
+            jitter_frac,
+        };
+        let mut prev = 0.0f64;
+        for attempt in 0..attempts {
+            let d = b.delay(attempt, u).value();
+            prop_assert!(d >= prev, "delay shrank at attempt {attempt}: {d} < {prev}");
+            prop_assert!(d >= b.base.value(), "attempt {attempt} undercuts the base");
+            prop_assert!(
+                d <= b.max.value() * (1.0 + jitter_frac) + 1e-12,
+                "attempt {attempt} exceeds the jittered cap: {d}"
+            );
+            prev = d;
+        }
+    }
+
     #[test]
     fn acl_monotone(k in 0usize..10) {
         prop_assert!(adjacent_channel_leakage(k + 1) <= adjacent_channel_leakage(k));
@@ -184,6 +215,28 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+mod reuse_factor_edges {
+    use super::*;
+
+    #[test]
+    fn empty_slot_list_reports_unity() {
+        assert_eq!(SdmScheduler::reuse_factor(&[]), 1.0);
+    }
+
+    #[test]
+    fn colocated_nodes_get_no_reuse() {
+        // All nodes in the same direction land in one harmonic group:
+        // every slot needs its own channel, so nothing is reused.
+        let tma = Tma::new(8, Hertz::from_ghz(24.0), Hertz::from_mhz(1.0));
+        let sched = SdmScheduler::new(tma);
+        let dirs = vec![Degrees::new(10.0); 5];
+        let slots = sched
+            .schedule(&dirs, 5)
+            .expect("five channels fit five nodes");
+        assert_eq!(SdmScheduler::reuse_factor(&slots), 1.0);
     }
 }
 
